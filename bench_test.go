@@ -1,0 +1,214 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (§IV). Each benchmark regenerates its figure's rows and
+// reports the headline values as custom benchmark metrics, logging the
+// full series with -v.
+//
+// By default the benches run at the reduced QuickScale (60×120), which
+// preserves the paper's qualitative shapes. Set ITSCS_BENCH_SCALE=paper
+// to run the full 158×240 evaluation (slow on a single core).
+//
+//	go test -bench=. -benchmem              # quick scale
+//	ITSCS_BENCH_SCALE=paper go test -bench=Fig5 -v
+package itscs_test
+
+import (
+	"os"
+	"testing"
+
+	"itscs/internal/experiment"
+)
+
+// benchConfig resolves the benchmark scale from the environment.
+func benchConfig(b *testing.B) experiment.Config {
+	b.Helper()
+	scale := experiment.QuickScale
+	if os.Getenv("ITSCS_BENCH_SCALE") == "paper" {
+		scale = experiment.PaperScale
+	}
+	return experiment.DefaultConfig(scale)
+}
+
+// BenchmarkFig1_CorruptionStats regenerates the Fig. 1 data-quality
+// illustration: corruption realized ratios and step statistics.
+func BenchmarkFig1_CorruptionStats(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		stats, err := experiment.Fig1(cfg, 0.11, 0.28)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(stats.RealizedMissing, "missing_ratio")
+			b.ReportMetric(stats.RealizedFaulty, "faulty_ratio")
+			b.ReportMetric(stats.MeanBiasMeters, "mean_bias_m")
+			b.Logf("clean step p95 %.0f m, corrupted max step %.0f m",
+				stats.CleanStepP95, stats.MaxStepMeters)
+		}
+	}
+}
+
+// BenchmarkFig4a_SingularValueCDF regenerates the low-rank analysis.
+// Paper shape: the top ~9-11%% of singular values carry 95%% of the energy.
+func BenchmarkFig4a_SingularValueCDF(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.Fig4a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var fracX, fracY float64
+			for _, p := range points {
+				if fracX == 0 && p.EnergyX >= 0.95 {
+					fracX = p.NormalizedIndex
+				}
+				if fracY == 0 && p.EnergyY >= 0.95 {
+					fracY = p.NormalizedIndex
+				}
+			}
+			b.ReportMetric(fracX*100, "pct_sv_for_95pct_energy_X")
+			b.ReportMetric(fracY*100, "pct_sv_for_95pct_energy_Y")
+		}
+	}
+}
+
+// BenchmarkFig4b_TemporalStability regenerates the temporal-stability CDF
+// comparison. Paper shape: the 95th percentile drops from ~410 m (raw) to
+// ~210 m (velocity-improved).
+func BenchmarkFig4b_TemporalStability(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Fig4b(cfg, []float64{0.5, 0.9, 0.95, 0.99})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("q%.2f: |Δx| %.0f m  |Δy| %.0f m  |Δvx| %.0f m  |Δvy| %.0f m",
+					r.Quantile, r.DX, r.DY, r.DVX, r.DVY)
+				if r.Quantile == 0.95 {
+					b.ReportMetric(r.DX, "raw_p95_m")
+					b.ReportMetric(r.DVX, "velocity_p95_m")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig5_DetectionPR regenerates the detection study. Paper shape:
+// TMM's precision and recall degrade as alpha/beta grow while every
+// I(TS,CS) variant stays above 95% even at alpha=beta=40%.
+func BenchmarkFig5_DetectionPR(b *testing.B) {
+	cfg := benchConfig(b)
+	alphas := []float64{0, 0.2, 0.4}
+	betas := []float64{0.1, 0.2, 0.3, 0.4}
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.Fig5(cfg, alphas, betas)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportFig5(b, points)
+		}
+	}
+}
+
+func reportFig5(b *testing.B, points []experiment.DetectionPoint) {
+	b.Helper()
+	worst := map[experiment.Method]float64{}
+	for _, p := range points {
+		b.Logf("alpha=%.2f beta=%.2f %-16s P=%.4f R=%.4f",
+			p.Alpha, p.Beta, p.Method, p.Precision, p.Recall)
+		v := p.Precision
+		if p.Recall < v {
+			v = p.Recall
+		}
+		if cur, ok := worst[p.Method]; !ok || v < cur {
+			worst[p.Method] = v
+		}
+	}
+	b.ReportMetric(worst[experiment.MethodTMM], "worst_PR_TMM")
+	b.ReportMetric(worst[experiment.MethodITSCS], "worst_PR_ITSCS")
+}
+
+// BenchmarkFig6_ReconstructionMAE regenerates the reconstruction study.
+// Paper shape: plain CS exceeds 1200 m at beta=40% while I(TS,CS) stays
+// around 200 m; the w/o-VT variant is ~2x the full one; w/o V ~10-18%
+// worse than full.
+func BenchmarkFig6_ReconstructionMAE(b *testing.B) {
+	cfg := benchConfig(b)
+	alphas := []float64{0.1, 0.2, 0.3}
+	betas := []float64{0, 0.1, 0.2, 0.3, 0.4}
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.Fig6(cfg, alphas, betas)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var worstCS, worstFull float64
+			for _, p := range points {
+				b.Logf("alpha=%.2f beta=%.2f %-16s MAE=%.1f m", p.Alpha, p.Beta, p.Method, p.MAE)
+				switch p.Method {
+				case experiment.MethodPlainCS:
+					if p.MAE > worstCS {
+						worstCS = p.MAE
+					}
+				case experiment.MethodITSCS:
+					if p.MAE > worstFull {
+						worstFull = p.MAE
+					}
+				}
+			}
+			b.ReportMetric(worstCS, "worst_MAE_plainCS_m")
+			b.ReportMetric(worstFull, "worst_MAE_ITSCS_m")
+		}
+	}
+}
+
+// BenchmarkFig7_FaultyVelocity regenerates the velocity-robustness study.
+// Paper shape: 20% faulty velocity is indistinguishable from clean, 40%
+// only slightly worse, while dropping velocity costs visibly more.
+func BenchmarkFig7_FaultyVelocity(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.Fig7(cfg,
+			[]float64{0.2, 0.4},
+			[]float64{0.2, 0.4},
+			[]float64{0, 0.2, 0.4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range points {
+				b.Logf("alpha=%.2f beta=%.2f gamma=%.2f %-16s MAE=%.1f m",
+					p.Alpha, p.Beta, p.Gamma, p.Method, p.MAE)
+			}
+		}
+	}
+}
+
+// BenchmarkFig8_Convergence regenerates the convergence study. Paper
+// shape: the big improvement lands between iterations 1 and 2, and the
+// loop stabilizes within ~4 iterations even at alpha=beta=40%.
+func BenchmarkFig8_Convergence(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.Fig8(cfg, []struct{ Alpha, Beta float64 }{
+			{0.2, 0.2}, {0.4, 0.4},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var maxIter float64
+			for _, p := range points {
+				b.Logf("alpha=%.2f beta=%.2f iter=%d P=%.4f MAE=%.1f changed=%d",
+					p.Alpha, p.Beta, p.Iteration, p.Precision, p.MAE, p.Changed)
+				if float64(p.Iteration) > maxIter {
+					maxIter = float64(p.Iteration)
+				}
+			}
+			b.ReportMetric(maxIter, "iterations_to_converge")
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command tracegen generates a synthetic taxi-fleet trace and writes the
+// coordinate and velocity matrices as CSV files, optionally applying the
+// paper's corruption model so the output can be fed straight into
+// itscs-detect.
+//
+// Usage:
+//
+//	tracegen -out DIR [-participants N] [-slots T] [-seed S]
+//	         [-missing A] [-faulty B]
+//
+// Output files: x.csv, y.csv, vx.csv, vy.csv and, when corruption is
+// requested, sx.csv, sy.csv (sensory matrices with NaN at missing cells)
+// plus truth-faulty.csv / truth-missing.csv ground-truth masks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"itscs/internal/corrupt"
+	"itscs/internal/mat"
+	"itscs/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	outDir := fs.String("out", "", "output directory (required)")
+	participants := fs.Int("participants", 158, "number of vehicles")
+	slots := fs.Int("slots", 240, "number of time slots")
+	seed := fs.Int64("seed", 1, "generation seed")
+	missing := fs.Float64("missing", 0, "missing-value ratio alpha in [0,1)")
+	faulty := fs.Float64("faulty", 0, "faulty-data ratio beta in [0,1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outDir == "" {
+		return fmt.Errorf("-out is required")
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+
+	cfg := trace.DefaultConfig()
+	cfg.Participants = *participants
+	cfg.Slots = *slots
+	cfg.Seed = *seed
+	fleet, err := trace.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	files := map[string]*mat.Dense{
+		"x.csv":  fleet.X,
+		"y.csv":  fleet.Y,
+		"vx.csv": fleet.VX,
+		"vy.csv": fleet.VY,
+	}
+
+	if *missing > 0 || *faulty > 0 {
+		plan := corrupt.DefaultPlan()
+		plan.MissingRatio = *missing
+		plan.FaultyRatio = *faulty
+		plan.Seed = *seed
+		res, err := corrupt.Apply(plan, fleet.X, fleet.Y)
+		if err != nil {
+			return err
+		}
+		files["sx.csv"] = withNaN(res.SX, res.Existence)
+		files["sy.csv"] = withNaN(res.SY, res.Existence)
+		files["truth-faulty.csv"] = res.Faulty
+		files["truth-missing.csv"] = res.Existence.Map(func(v float64) float64 { return 1 - v })
+	}
+
+	for name, m := range files {
+		if err := writeCSV(filepath.Join(*outDir, name), m); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d matrices (%dx%d) to %s\n", len(files), *participants, *slots, *outDir)
+	return nil
+}
+
+// withNaN returns s with NaN at unobserved cells so downstream tools can
+// distinguish missing from a legitimate zero coordinate.
+func withNaN(s, existence *mat.Dense) *mat.Dense {
+	out := s.Clone()
+	out.Apply(func(i, j int, v float64) float64 {
+		if existence.At(i, j) == 0 {
+			return math.NaN()
+		}
+		return v
+	})
+	return out
+}
+
+func writeCSV(path string, m *mat.Dense) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	if err := mat.WriteCSV(f, m); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	return nil
+}

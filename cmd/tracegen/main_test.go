@@ -1,0 +1,86 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"itscs/internal/mat"
+)
+
+func TestRunGeneratesMatrices(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-out", dir, "-participants", "6", "-slots", "20", "-seed", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"x.csv", "y.csv", "vx.csv", "vy.csv"} {
+		m := readMatrix(t, filepath.Join(dir, name))
+		if m.Rows() != 6 || m.Cols() != 20 {
+			t.Fatalf("%s is %dx%d", name, m.Rows(), m.Cols())
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sx.csv")); !os.IsNotExist(err) {
+		t.Fatal("no corruption requested, sx.csv should not exist")
+	}
+}
+
+func TestRunWithCorruption(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-out", dir, "-participants", "8", "-slots", "25",
+		"-missing", "0.2", "-faulty", "0.2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx := readMatrix(t, filepath.Join(dir, "sx.csv"))
+	truthMissing := readMatrix(t, filepath.Join(dir, "truth-missing.csv"))
+	truthFaulty := readMatrix(t, filepath.Join(dir, "truth-faulty.csv"))
+	var nanCount, missCount int
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 25; j++ {
+			if math.IsNaN(sx.At(i, j)) {
+				nanCount++
+				if truthMissing.At(i, j) != 1 {
+					t.Fatal("NaN cell not marked missing in truth")
+				}
+			}
+			if truthMissing.At(i, j) == 1 {
+				missCount++
+			}
+		}
+	}
+	if nanCount != missCount || nanCount == 0 {
+		t.Fatalf("NaN cells %d vs truth-missing %d", nanCount, missCount)
+	}
+	if truthFaulty.Sum() == 0 {
+		t.Fatal("no faults recorded")
+	}
+}
+
+func TestRunRequiresOut(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -out should fail")
+	}
+}
+
+func TestRunRejectsBadRatios(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-missing", "0.9", "-faulty", "0.9"}); err == nil {
+		t.Fatal("impossible corruption should fail")
+	}
+}
+
+func readMatrix(t *testing.T, path string) *mat.Dense {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := mat.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -1,0 +1,87 @@
+// Airquality: the framework on non-location sensory data.
+//
+// The paper notes I(TS,CS) "can be easily extended to other kinds of
+// sensory data" (§I). This example applies RunScalar to a simulated
+// city-wide PM2.5 crowdsensing campaign: 40 stations share a diurnal
+// pollution cycle modulated by per-station exposure, some uploads are
+// lost, and a handful of sensors spike (a failure mode of cheap optical
+// particle counters). The framework flags the spikes and fills the gaps.
+//
+//	go run ./examples/airquality
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"itscs"
+)
+
+func main() {
+	const stations, slots = 40, 144 // one day at 10-minute resolution
+	rng := rand.New(rand.NewSource(3))
+
+	// Ground truth: shared diurnal cycle (traffic peaks) scaled by
+	// per-station exposure plus mild sensor noise — an approximately
+	// rank-2 field, exactly the structure CS completion exploits.
+	truth := make([][]float64, stations)
+	for i := range truth {
+		truth[i] = make([]float64, slots)
+		base := 20 + 30*rng.Float64()   // µg/m³ background
+		exposure := 0.5 + rng.Float64() // roadside vs park
+		for j := 0; j < slots; j++ {
+			hour := float64(j) * 24 / slots
+			rush := math.Exp(-sq(hour-8)/8) + math.Exp(-sq(hour-18)/8)
+			truth[i][j] = base + exposure*40*rush + rng.NormFloat64()*0.8
+		}
+	}
+
+	// Observed data: 10% uploads lost, 5% of cells spiked by 100-300 µg/m³.
+	values := make([][]float64, stations)
+	type cell struct{ i, j int }
+	var spiked []cell
+	for i := range truth {
+		values[i] = append([]float64(nil), truth[i]...)
+		for j := range values[i] {
+			switch {
+			case rng.Float64() < 0.10:
+				values[i][j] = math.NaN()
+			case rng.Float64() < 0.05:
+				values[i][j] += 100 + 200*rng.Float64()
+				spiked = append(spiked, cell{i, j})
+			}
+		}
+	}
+
+	res, err := itscs.RunScalar(values, nil,
+		itscs.WithToleranceFloor(12),     // µg/m³: above sensor noise, below spikes
+		itscs.WithCheckThresholds(8, 40), // clear within 8, re-flag beyond 40
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	caught := 0
+	for _, c := range spiked {
+		if res.Faulty[c.i][c.j] {
+			caught++
+		}
+	}
+	var missSum, missCnt float64
+	for i := range values {
+		for j := range values[i] {
+			if res.Missing[i][j] {
+				missSum += math.Abs(res.Values[i][j] - truth[i][j])
+				missCnt++
+			}
+		}
+	}
+	fmt.Printf("stations=%d slots=%d converged=%v in %d iterations\n",
+		stations, slots, res.Converged, res.Iterations)
+	fmt.Printf("spike detection: %d/%d caught\n", caught, len(spiked))
+	fmt.Printf("gap filling: MAE %.1f µg/m³ over %.0f lost uploads\n", missSum/missCnt, missCnt)
+}
+
+func sq(v float64) float64 { return v * v }

@@ -1,0 +1,67 @@
+// Quickstart: detect injected faults in a tiny hand-built trajectory.
+//
+// A single vehicle drives east at a steady 10 m/s. We delete two
+// observations and corrupt two others with multi-kilometer jumps, then let
+// I(TS,CS) find the faults and repair the track.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"itscs"
+)
+
+func main() {
+	const slots = 40
+	const speed = 10.0 // m/s east
+	const tau = 30.0   // seconds per slot
+
+	x := make([]float64, slots)
+	y := make([]float64, slots)
+	vx := make([]float64, slots)
+	vy := make([]float64, slots)
+	for j := 0; j < slots; j++ {
+		x[j] = 1_000 + speed*tau*float64(j)
+		y[j] = 5_000
+		vx[j] = speed
+	}
+
+	// Two dropped reports and two kilometers-scale faults.
+	x[7], y[7] = math.NaN(), math.NaN()
+	x[23], y[23] = math.NaN(), math.NaN()
+	x[12] += 4_500
+	y[30] -= 6_200
+
+	res, err := itscs.Run(
+		itscs.Dataset{X: [][]float64{x}, Y: [][]float64{y}, VX: [][]float64{vx}, VY: [][]float64{vy}},
+		itscs.WithDetectionWindow(7),
+		itscs.WithRank(2),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("converged in %d iterations\n\n", res.Iterations)
+	fmt.Println("slot  status    observed x      repaired x")
+	for j := 0; j < slots; j++ {
+		status := "ok"
+		switch {
+		case res.Missing[0][j]:
+			status = "missing"
+		case res.Faulty[0][j]:
+			status = "FAULTY"
+		}
+		observed := fmt.Sprintf("%10.0f", x[j])
+		if math.IsNaN(x[j]) {
+			observed = "        --"
+		}
+		if status == "ok" {
+			continue // print only the interesting slots
+		}
+		fmt.Printf("%4d  %-8s %s      %10.0f\n", j, status, observed, res.X[0][j])
+	}
+}

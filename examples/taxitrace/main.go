@@ -1,0 +1,89 @@
+// Taxitrace: the paper's headline scenario end to end.
+//
+// Generate a paper-scale synthetic Shanghai taxi fleet (158 vehicles × 240
+// slots), corrupt it with 20% missing values and 20% kilometers-scale
+// faults, run I(TS,CS), and score detection precision/recall and
+// reconstruction MAE against the known ground truth.
+//
+//	go run ./examples/taxitrace [-participants N] [-slots T] [-missing A] [-faulty B]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"itscs"
+	"itscs/synthetic"
+)
+
+func main() {
+	participants := flag.Int("participants", 158, "fleet size")
+	slots := flag.Int("slots", 240, "time slots")
+	missing := flag.Float64("missing", 0.2, "missing ratio alpha")
+	faulty := flag.Float64("faulty", 0.2, "faulty ratio beta")
+	flag.Parse()
+
+	cfg := synthetic.DefaultFleetConfig()
+	cfg.Participants = *participants
+	cfg.Slots = *slots
+	fleet, err := synthetic.GenerateFleet(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cor, err := fleet.Corrupt(synthetic.Corruption{
+		MissingRatio: *missing,
+		FaultyRatio:  *faulty,
+		Seed:         42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	res, err := itscs.Run(cor.Dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	// Score against ground truth.
+	var tp, fp, fn int
+	var maeSum float64
+	var maeCnt int
+	for i := range res.Faulty {
+		for j := range res.Faulty[i] {
+			if !cor.TruthMissing[i][j] {
+				switch {
+				case res.Faulty[i][j] && cor.TruthFaulty[i][j]:
+					tp++
+				case res.Faulty[i][j]:
+					fp++
+				case cor.TruthFaulty[i][j]:
+					fn++
+				}
+			}
+			if cor.TruthMissing[i][j] || res.Faulty[i][j] {
+				dx := res.X[i][j] - fleet.X[i][j]
+				dy := res.Y[i][j] - fleet.Y[i][j]
+				maeSum += math.Hypot(dx, dy)
+				maeCnt++
+			}
+		}
+	}
+	precision := float64(tp) / float64(tp+fp)
+	recall := float64(tp) / float64(tp+fn)
+	mae := maeSum / float64(maeCnt)
+
+	fmt.Printf("fleet: %d taxis x %d slots, alpha=%.0f%% beta=%.0f%%\n",
+		*participants, *slots, *missing*100, *faulty*100)
+	fmt.Printf("framework: converged=%v in %d iterations (%.1fs)\n",
+		res.Converged, res.Iterations, elapsed.Seconds())
+	fmt.Printf("detection: precision=%.4f recall=%.4f (TP=%d FP=%d FN=%d)\n",
+		precision, recall, tp, fp, fn)
+	fmt.Printf("reconstruction: MAE=%.1f m over %d repaired cells\n", mae, maeCnt)
+	fmt.Println("\npaper reference: >95% precision & recall even at alpha=beta=40%,")
+	fmt.Println("MAE ~200 m at alpha<=30%, beta<=20% (SUVnet trace)")
+}

@@ -1,0 +1,3 @@
+module itscs
+
+go 1.22

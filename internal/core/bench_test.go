@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"itscs/internal/metrics"
+)
+
+// benchWorkload adapts the test fixture for benchmarks.
+func benchWorkload(b *testing.B, alpha, beta float64) (Input, func(*Output) (float64, float64, float64)) {
+	b.Helper()
+	fleet, res := fixture(b, 40, 120, alpha, beta)
+	score := func(out *Output) (precision, recall, mae float64) {
+		conf, err := metrics.Compare(out.Detection, res.Faulty, res.Existence)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, err := metrics.MAE(fleet.X, fleet.Y, out.XHat, out.YHat, res.Existence, out.Detection)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return conf.Precision(), conf.Recall(), v
+	}
+	return inputFrom(fleet, res), score
+}
+
+// BenchmarkRunFramework measures the end-to-end loop at a moderate load.
+func BenchmarkRunFramework(b *testing.B) {
+	in, score := benchWorkload(b, 0.2, 0.2)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := Run(cfg, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			p, r, mae := score(out)
+			b.ReportMetric(p, "precision")
+			b.ReportMetric(r, "recall")
+			b.ReportMetric(mae, "MAE_m")
+			b.ReportMetric(float64(out.Iterations), "outer_iters")
+		}
+	}
+}
+
+// BenchmarkCheckThresholds is the DESIGN.md ablation over Algorithm 3's
+// clear/raise thresholds: too tight a pair flaps and over-flags, too loose
+// a pair lets faults leak into the trusted set.
+func BenchmarkCheckThresholds(b *testing.B) {
+	in, score := benchWorkload(b, 0.3, 0.3)
+	for _, th := range []struct{ lo, hi float64 }{
+		{100, 300}, {300, 800}, {600, 1600},
+	} {
+		b.Run(fmt.Sprintf("lo%03.0f_hi%04.0f", th.lo, th.hi), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.CheckLowMeters = th.lo
+			cfg.CheckHighMeters = th.hi
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := Run(cfg, in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					p, r, mae := score(out)
+					b.ReportMetric(p, "precision")
+					b.ReportMetric(r, "recall")
+					b.ReportMetric(mae, "MAE_m")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,397 @@
+// Package core implements the I(TS,CS) framework itself: the iterative
+// DETECT-and-CORRECT loop of the paper's Fig. 2 that couples the
+// time-series outlier detector (internal/tsdetect) with compressive-sensing
+// reconstruction (internal/csrecon) and the Check() reconciliation of
+// Algorithm 3, iterating until the detection matrix stabilizes.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"itscs/internal/csrecon"
+	"itscs/internal/mat"
+	"itscs/internal/motion"
+	"itscs/internal/stat"
+	"itscs/internal/tsdetect"
+)
+
+// Config assembles the framework parameters.
+type Config struct {
+	// Detect configures the Optimized Local Median Method.
+	Detect tsdetect.Options
+	// Reconstruct configures CS reconstruction; its Variant selects
+	// between I(TS,CS), I(TS,CS)-without-V and I(TS,CS)-without-VT.
+	Reconstruct csrecon.Options
+	// CheckLowMeters clears a flag when the sensory value sits within this
+	// distance of the reconstruction (Algorithm 3's thres_l).
+	CheckLowMeters float64
+	// CheckHighMeters raises a flag when the sensory value deviates from
+	// the reconstruction by more than this (Algorithm 3's thres_u).
+	CheckHighMeters float64
+	// MaxIterations bounds the outer loop; the paper observes convergence
+	// within 4 iterations even at α = β = 40 %.
+	MaxIterations int
+	// KeepHistory retains per-iteration snapshots for convergence studies.
+	KeepHistory bool
+	// DisableAdaptiveCheck pins Check() to the fixed thresholds above.
+	// By default the raise threshold adapts upward to the reconstruction's
+	// own residual level on trusted cells (its 99th percentile, with
+	// headroom), so datasets whose low-rank truncation floor exceeds
+	// CheckHighMeters do not drown in false positives. The paper notes the
+	// faulty-data threshold is "system-specific" (Definition 4); this is
+	// the corresponding automation.
+	DisableAdaptiveCheck bool
+}
+
+// DefaultConfig returns the evaluation configuration. The Check thresholds
+// sit between the reconstruction error scale (≈200 m) and the fault bias
+// scale (kilometers): flags are cleared below 300 m and raised above 600 m.
+func DefaultConfig() Config {
+	return Config{
+		Detect:          tsdetect.DefaultOptions(),
+		Reconstruct:     csrecon.DefaultOptions(),
+		CheckLowMeters:  300,
+		CheckHighMeters: 600,
+		MaxIterations:   15,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Detect.Validate(); err != nil {
+		return err
+	}
+	if err := c.Reconstruct.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.CheckLowMeters <= 0:
+		return fmt.Errorf("core: check low threshold must be positive, got %v", c.CheckLowMeters)
+	case c.CheckHighMeters <= c.CheckLowMeters:
+		return fmt.Errorf("core: check high threshold %v must exceed low %v", c.CheckHighMeters, c.CheckLowMeters)
+	case c.MaxIterations < 1:
+		return fmt.Errorf("core: max iterations must be >= 1, got %d", c.MaxIterations)
+	}
+	return nil
+}
+
+// Input is one corrupted dataset to repair.
+type Input struct {
+	// SX, SY are the sensory matrices (zeros at missing cells).
+	SX, SY *mat.Dense
+	// Existence marks observed cells (Definition 3).
+	Existence *mat.Dense
+	// VX, VY are the reported instantaneous velocities. They drive both
+	// the adaptive detection tolerance and (for the full variant) the
+	// reconstruction's velocity term.
+	VX, VY *mat.Dense
+}
+
+// Validate reports input shape errors.
+func (in Input) Validate() error {
+	if in.SX == nil || in.SY == nil || in.Existence == nil || in.VX == nil || in.VY == nil {
+		return fmt.Errorf("core: all input matrices are required")
+	}
+	n, t := in.SX.Dims()
+	if n == 0 || t == 0 {
+		return fmt.Errorf("core: empty sensory matrices")
+	}
+	for name, m := range map[string]*mat.Dense{
+		"SY": in.SY, "E": in.Existence, "VX": in.VX, "VY": in.VY,
+	} {
+		if mr, mc := m.Dims(); mr != n || mc != t {
+			return fmt.Errorf("core: %s is %dx%d, want %dx%d", name, mr, mc, n, t)
+		}
+	}
+	return nil
+}
+
+// Snapshot captures the framework state after one outer iteration.
+type Snapshot struct {
+	// Detection is the detection matrix after Check().
+	Detection *mat.Dense
+	// XHat, YHat are the reconstructions of this iteration.
+	XHat, YHat *mat.Dense
+	// FlagCount is the number of raised detection flags (over observed cells).
+	FlagCount int
+	// ChangedFlags counts detection entries that differ from the previous
+	// iteration (the convergence criterion is ChangedFlags == 0).
+	ChangedFlags int
+}
+
+// Output is the framework result.
+type Output struct {
+	// Detection is the final Detection Matrix D restricted to observed
+	// cells: 1 marks data judged faulty.
+	Detection *mat.Dense
+	// XHat, YHat are the final Reconstructed Matrices.
+	XHat, YHat *mat.Dense
+	// Iterations is the number of outer DETECT→CORRECT→CHECK rounds run.
+	Iterations int
+	// Converged reports whether D stabilized before MaxIterations.
+	Converged bool
+	// History holds per-iteration snapshots when Config.KeepHistory is set.
+	History []Snapshot
+}
+
+// Run executes I(TS,CS) on the input.
+func Run(cfg Config, in Input) (*Output, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n, t := in.SX.Dims()
+
+	avgVX := motion.AverageVelocity(in.VX)
+	avgVY := motion.AverageVelocity(in.VY)
+
+	// DETECT, first pass: D starts all ones; the detector clears what
+	// tests normal, minimizing false negatives (Algorithm 1).
+	ones := mat.Ones(n, t)
+	dx, err := tsdetect.Detect(in.SX, nil, avgVX, ones, in.Existence, true, cfg.Detect)
+	if err != nil {
+		return nil, fmt.Errorf("core: first detect X: %w", err)
+	}
+	dy, err := tsdetect.Detect(in.SY, nil, avgVY, ones, in.Existence, true, cfg.Detect)
+	if err != nil {
+		return nil, fmt.Errorf("core: first detect Y: %w", err)
+	}
+	d, err := tsdetect.Union(dx, dy)
+	if err != nil {
+		return nil, fmt.Errorf("core: union detections: %w", err)
+	}
+
+	out := &Output{}
+	var xHat, yHat *mat.Dense
+	var prevChecked *mat.Dense
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		// CORRECT: reconstruct from the trusted cells B = E ∧ ¬D.
+		// The two axes are independent; run them concurrently.
+		b := gbim(in.Existence, d)
+		var errX, errY error
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			xHat, errX = reconstructAxis(cfg, in.SX, b, avgVX)
+		}()
+		go func() {
+			defer wg.Done()
+			yHat, errY = reconstructAxis(cfg, in.SY, b, avgVY)
+		}()
+		wg.Wait()
+		if errX != nil {
+			return nil, fmt.Errorf("core: reconstruct X: %w", errX)
+		}
+		if errY != nil {
+			return nil, fmt.Errorf("core: reconstruct Y: %w", errY)
+		}
+
+		// CHECK: reconcile flags against the reconstruction (Algorithm 3),
+		// per axis, then union — a cell stays flagged if either axis
+		// disagrees with the reconstruction.
+		highX, highY := cfg.CheckHighMeters, cfg.CheckHighMeters
+		if !cfg.DisableAdaptiveCheck {
+			highX = adaptiveHigh(in.SX, xHat, b, cfg.CheckHighMeters)
+			highY = adaptiveHigh(in.SY, yHat, b, cfg.CheckHighMeters)
+		}
+		cx := check(in.SX, xHat, d, in.Existence, cfg.CheckLowMeters, highX)
+		cy := check(in.SY, yHat, d, in.Existence, cfg.CheckLowMeters, highY)
+		next, err := tsdetect.Union(cx, cy)
+		if err != nil {
+			return nil, fmt.Errorf("core: union checks: %w", err)
+		}
+
+		// The paper's convergence criterion is "D never changes again":
+		// compare the post-Check detection against the previous round's.
+		changed := next.Rows() * next.Cols()
+		if prevChecked != nil {
+			changed = diffCount(prevChecked, next)
+		}
+		prevChecked = next
+		out.Iterations = iter + 1
+		if cfg.KeepHistory {
+			out.History = append(out.History, Snapshot{
+				Detection:    maskDetection(next, in.Existence),
+				XHat:         xHat.Clone(),
+				YHat:         yHat.Clone(),
+				FlagCount:    flagCount(next, in.Existence),
+				ChangedFlags: changed,
+			})
+		}
+		d = next
+		if changed == 0 {
+			out.Converged = true
+			break
+		}
+
+		// DETECT again with the reconstruction standing in for missing
+		// values (Algorithm 1 lines 1-5).
+		dx, err = tsdetect.Detect(in.SX, xHat, avgVX, d, in.Existence, false, cfg.Detect)
+		if err != nil {
+			return nil, fmt.Errorf("core: detect X: %w", err)
+		}
+		dy, err = tsdetect.Detect(in.SY, yHat, avgVY, d, in.Existence, false, cfg.Detect)
+		if err != nil {
+			return nil, fmt.Errorf("core: detect Y: %w", err)
+		}
+		d, err = tsdetect.Union(dx, dy)
+		if err != nil {
+			return nil, fmt.Errorf("core: union detections: %w", err)
+		}
+	}
+
+	// prevChecked holds the last post-Check detection — the framework's
+	// answer even when the loop exhausted MaxIterations (d may have been
+	// advanced by a trailing TS_Detect pass).
+	out.Detection = maskDetection(prevChecked, in.Existence)
+	out.XHat = xHat
+	out.YHat = yHat
+	return out, nil
+}
+
+// reconstructAxis runs CS reconstruction for one axis, passing the average
+// velocity only to the variant that uses it.
+func reconstructAxis(cfg Config, s, b, avgV *mat.Dense) (*mat.Dense, error) {
+	if cfg.Reconstruct.Variant == csrecon.VariantVelocityTemporal {
+		return csrecon.Reconstruct(s, b, avgV, cfg.Reconstruct)
+	}
+	return csrecon.Reconstruct(s, b, nil, cfg.Reconstruct)
+}
+
+// gbim computes the Generalized Binary Index Matrix of Definition 7:
+// B(i,j) = 1 iff the cell was observed and is not currently flagged.
+func gbim(e, d *mat.Dense) *mat.Dense {
+	n, t := e.Dims()
+	b := mat.New(n, t)
+	for i := 0; i < n; i++ {
+		eRow := e.RowView(i)
+		dRow := d.RowView(i)
+		bRow := b.RowView(i)
+		for j := 0; j < t; j++ {
+			if eRow[j] == 1 && dRow[j] == 0 {
+				bRow[j] = 1
+			}
+		}
+	}
+	return b
+}
+
+// adaptiveHigh widens the raise threshold to sit above the
+// reconstruction's own error level: the 99th percentile of |S−Ŝ| over
+// currently-trusted cells, with 25 % headroom, floored at the configured
+// threshold. Trusted cells are overwhelmingly clean, so this tracks the
+// truncation/noise floor rather than the faults.
+func adaptiveHigh(s, sHat, b *mat.Dense, floor float64) float64 {
+	n, t := s.Dims()
+	residuals := make([]float64, 0, n*t)
+	for i := 0; i < n; i++ {
+		sRow := s.RowView(i)
+		hRow := sHat.RowView(i)
+		bRow := b.RowView(i)
+		for j := 0; j < t; j++ {
+			if bRow[j] == 1 {
+				diff := sRow[j] - hRow[j]
+				if diff < 0 {
+					diff = -diff
+				}
+				residuals = append(residuals, diff)
+			}
+		}
+	}
+	q, err := stat.Quantile(residuals, 0.99)
+	if err != nil {
+		return floor
+	}
+	if adaptive := 1.25 * q; adaptive > floor {
+		return adaptive
+	}
+	return floor
+}
+
+// check implements Algorithm 3 for one axis: clear flags whose sensory
+// value now agrees with the reconstruction (|S−Ŝ| < low), raise flags that
+// strongly disagree (|S−Ŝ| > high). Missing cells are skipped — they hold
+// no sensory value to compare, and flapping them would prevent convergence
+// (implementation note; the paper iterates over all of S but a missing
+// cell's stored zero is an encoding artifact, not data).
+func check(s, sHat, d, e *mat.Dense, low, high float64) *mat.Dense {
+	n, t := s.Dims()
+	out := d.Clone()
+	for i := 0; i < n; i++ {
+		sRow := s.RowView(i)
+		hRow := sHat.RowView(i)
+		dRow := d.RowView(i)
+		eRow := e.RowView(i)
+		oRow := out.RowView(i)
+		for j := 0; j < t; j++ {
+			if eRow[j] == 0 {
+				continue
+			}
+			diff := sRow[j] - hRow[j]
+			if diff < 0 {
+				diff = -diff
+			}
+			switch {
+			case diff < low && dRow[j] == 1:
+				oRow[j] = 0
+			case diff > high && dRow[j] == 0:
+				oRow[j] = 1
+			}
+		}
+	}
+	return out
+}
+
+// diffCount counts elements that differ between two binary matrices.
+func diffCount(a, b *mat.Dense) int {
+	n, t := a.Dims()
+	var cnt int
+	for i := 0; i < n; i++ {
+		ar := a.RowView(i)
+		br := b.RowView(i)
+		for j := 0; j < t; j++ {
+			if ar[j] != br[j] {
+				cnt++
+			}
+		}
+	}
+	return cnt
+}
+
+// flagCount counts raised flags over observed cells.
+func flagCount(d, e *mat.Dense) int {
+	n, t := d.Dims()
+	var cnt int
+	for i := 0; i < n; i++ {
+		dr := d.RowView(i)
+		er := e.RowView(i)
+		for j := 0; j < t; j++ {
+			if dr[j] != 0 && er[j] != 0 {
+				cnt++
+			}
+		}
+	}
+	return cnt
+}
+
+// maskDetection zeroes detection entries at unobserved cells: a cell with
+// no observation cannot be a detected fault. TS_Detect leaves such cells
+// flagged on the first pass as a bookkeeping artifact.
+func maskDetection(d, e *mat.Dense) *mat.Dense {
+	n, t := d.Dims()
+	out := d.Clone()
+	for i := 0; i < n; i++ {
+		er := e.RowView(i)
+		or := out.RowView(i)
+		for j := 0; j < t; j++ {
+			if er[j] == 0 {
+				or[j] = 0
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"itscs/internal/metrics"
+)
+
+// TestPropertyDetectionInvariants drives the full loop over random small
+// corruptions and checks structural invariants of the output:
+//
+//   - the detection matrix is binary,
+//   - no unobserved cell is ever reported as detected,
+//   - reconstructions are finite and shaped like the input,
+//   - iteration count respects the configured bound.
+func TestPropertyDetectionInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property loop is expensive")
+	}
+	f := func(seedRaw uint8, aRaw, bRaw uint8) bool {
+		alpha := float64(aRaw%35) / 100
+		beta := float64(bRaw%35) / 100
+		fleet, res := fixture(t, 12, 50, alpha, beta)
+		cfg := DefaultConfig()
+		cfg.MaxIterations = 6
+		out, err := Run(cfg, inputFrom(fleet, res))
+		if err != nil {
+			t.Logf("run failed: %v", err)
+			return false
+		}
+		if out.Iterations > cfg.MaxIterations {
+			return false
+		}
+		n, tt := res.SX.Dims()
+		dr, dc := out.Detection.Dims()
+		if dr != n || dc != tt {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < tt; j++ {
+				d := out.Detection.At(i, j)
+				if d != 0 && d != 1 {
+					return false
+				}
+				if d == 1 && res.Existence.At(i, j) == 0 {
+					return false
+				}
+				if isBad(out.XHat.At(i, j)) || isBad(out.YHat.At(i, j)) {
+					return false
+				}
+			}
+		}
+		// Derived metrics must be well-defined.
+		if _, err := metrics.Compare(out.Detection, res.Faulty, res.Existence); err != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isBad(v float64) bool {
+	return v != v || v > 1e12 || v < -1e12
+}

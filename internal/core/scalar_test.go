@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"itscs/internal/csrecon"
+	"itscs/internal/mat"
+	"itscs/internal/stat"
+)
+
+// scalarFixture builds a low-rank scalar field (e.g. a temperature grid:
+// shared diurnal pattern with per-sensor offset and gain) with injected
+// missing cells and spike faults.
+func scalarFixture(t *testing.T, n, slots int, alpha, beta float64) (truth, s, e, faulty *mat.Dense) {
+	t.Helper()
+	rng := stat.NewRNG(5)
+	truth = mat.New(n, slots)
+	for i := 0; i < n; i++ {
+		offset := rng.Uniform(15, 25)
+		gain := rng.Uniform(3, 8)
+		phase := rng.Uniform(0, 0.5)
+		for j := 0; j < slots; j++ {
+			cycle := math.Sin(2*math.Pi*float64(j)/float64(slots) + phase)
+			truth.Set(i, j, offset+gain*cycle+0.05*rng.NormFloat64())
+		}
+	}
+	s = truth.Clone()
+	e = mat.Ones(n, slots)
+	faulty = mat.New(n, slots)
+	total := n * slots
+	perm := rng.Perm(total)
+	nMissing := int(alpha * float64(total))
+	nFaulty := int(beta * float64(total))
+	for k, cell := range perm[:nMissing+nFaulty] {
+		i, j := cell/slots, cell%slots
+		if k < nMissing {
+			e.Set(i, j, 0)
+			s.Set(i, j, 0)
+			continue
+		}
+		faulty.Set(i, j, 1)
+		s.Add(i, j, rng.Sign()*rng.Uniform(30, 80)) // spikes far outside the diurnal range
+	}
+	return truth, s, e, faulty
+}
+
+// scalarConfig rescales the meter-calibrated defaults to temperature units.
+func scalarConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Detect.MinToleranceMeters = 3 // degrees, despite the field name
+	cfg.CheckLowMeters = 2
+	cfg.CheckHighMeters = 10
+	return cfg
+}
+
+func TestRunScalarDetectsSpikes(t *testing.T) {
+	_, s, e, faulty := scalarFixture(t, 20, 80, 0.15, 0.15)
+	out, err := RunScalar(scalarConfig(), ScalarInput{S: s, Existence: e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := confusion(out.Detection, faulty, e)
+	if conf.prec() < 0.9 || conf.rec() < 0.9 {
+		t.Fatalf("scalar detection P=%.3f R=%.3f", conf.prec(), conf.rec())
+	}
+}
+
+func TestRunScalarReconstructs(t *testing.T) {
+	truth, s, e, _ := scalarFixture(t, 20, 80, 0.2, 0.1)
+	out, err := RunScalar(scalarConfig(), ScalarInput{S: s, Existence: e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	var cnt int
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 80; j++ {
+			if e.At(i, j) == 0 {
+				sum += math.Abs(truth.At(i, j) - out.SHat.At(i, j))
+				cnt++
+			}
+		}
+	}
+	if mae := sum / float64(cnt); mae > 2 {
+		t.Fatalf("scalar reconstruction MAE = %.2f degrees", mae)
+	}
+}
+
+func TestRunScalarNilRateFallsBackToTemporal(t *testing.T) {
+	_, s, e, _ := scalarFixture(t, 10, 40, 0.1, 0.1)
+	cfg := scalarConfig()
+	cfg.Reconstruct.Variant = csrecon.VariantVelocityTemporal
+	// Must not error despite the velocity variant having no rate data.
+	out, err := RunScalar(cfg, ScalarInput{S: s, Existence: e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SHat == nil {
+		t.Fatal("missing reconstruction")
+	}
+}
+
+func TestRunScalarWithRate(t *testing.T) {
+	truth, s, e, faulty := scalarFixture(t, 15, 60, 0.15, 0.15)
+	// Rate = discrete derivative of the truth (per second over 30 s slots).
+	rate := mat.New(15, 60)
+	for i := 0; i < 15; i++ {
+		for j := 1; j < 60; j++ {
+			rate.Set(i, j, (truth.At(i, j)-truth.At(i, j-1))/30)
+		}
+	}
+	out, err := RunScalar(scalarConfig(), ScalarInput{S: s, Existence: e, Rate: rate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := confusion(out.Detection, faulty, e)
+	if conf.rec() < 0.9 {
+		t.Fatalf("rate-assisted recall = %.3f", conf.rec())
+	}
+}
+
+func TestRunScalarValidation(t *testing.T) {
+	cases := []ScalarInput{
+		{},
+		{S: mat.New(0, 0), Existence: mat.New(0, 0)},
+		{S: mat.New(2, 3), Existence: mat.New(1, 1)},
+		{S: mat.New(2, 3), Existence: mat.Ones(2, 3), Rate: mat.New(1, 1)},
+	}
+	for i, in := range cases {
+		if _, err := RunScalar(DefaultConfig(), in); err == nil {
+			t.Fatalf("case %d should be rejected", i)
+		}
+	}
+	bad := DefaultConfig()
+	bad.MaxIterations = 0
+	if _, err := RunScalar(bad, ScalarInput{S: mat.New(2, 3), Existence: mat.Ones(2, 3)}); err == nil {
+		t.Fatal("bad config should be rejected")
+	}
+}
+
+// confusion is a tiny local tally to avoid importing metrics into core's
+// white-box tests twice.
+type confusionCount struct{ tp, fp, fn int }
+
+func confusion(d, f, e *mat.Dense) confusionCount {
+	var c confusionCount
+	n, t := d.Dims()
+	for i := 0; i < n; i++ {
+		for j := 0; j < t; j++ {
+			if e.At(i, j) == 0 {
+				continue
+			}
+			flagged := d.At(i, j) != 0
+			truth := f.At(i, j) != 0
+			switch {
+			case flagged && truth:
+				c.tp++
+			case flagged:
+				c.fp++
+			case truth:
+				c.fn++
+			}
+		}
+	}
+	return c
+}
+
+func (c confusionCount) prec() float64 {
+	if c.tp+c.fp == 0 {
+		return 1
+	}
+	return float64(c.tp) / float64(c.tp+c.fp)
+}
+
+func (c confusionCount) rec() float64 {
+	if c.tp+c.fn == 0 {
+		return 1
+	}
+	return float64(c.tp) / float64(c.tp+c.fn)
+}

@@ -1,0 +1,159 @@
+// Package corrupt injects the missing values and faulty data the paper's
+// evaluation is driven by (§IV-A):
+//
+//   - the Existence Matrix E with a fraction α of zeros (missing values),
+//   - the Faulty Matrix F with a fraction β of ones, applied as a large
+//     random bias ε added to both coordinates of the selected cells,
+//   - velocity corruption for the §IV-D study: a fraction γ of velocity
+//     cells replaced by a uniform draw in [0, 2v] (±100 % error).
+//
+// A cell is never both missing and faulty: faulty cells are drawn from the
+// cells that survive the missingness draw, matching the paper's generation
+// S = X∘E + F∘[ε].
+package corrupt
+
+import (
+	"fmt"
+
+	"itscs/internal/mat"
+	"itscs/internal/stat"
+)
+
+// Plan describes one corruption draw.
+type Plan struct {
+	// MissingRatio is α: the fraction of cells whose observations are lost.
+	MissingRatio float64
+	// FaultyRatio is β: the fraction of cells that carry a large bias.
+	FaultyRatio float64
+	// BiasMinMeters and BiasMaxMeters bound |ε| for faulty cells. The paper
+	// notes faulty points are "typically at least kilometers away from the
+	// normal data"; defaults follow that.
+	BiasMinMeters float64
+	BiasMaxMeters float64
+	// Seed drives the deterministic draw.
+	Seed int64
+}
+
+// DefaultPlan returns a plan with paper-calibrated bias magnitudes
+// (kilometers-scale deviations) and no corruption ratios set.
+func DefaultPlan() Plan {
+	return Plan{
+		BiasMinMeters: 2_000,
+		BiasMaxMeters: 15_000,
+		Seed:          1,
+	}
+}
+
+// Validate reports plan errors.
+func (p Plan) Validate() error {
+	switch {
+	case p.MissingRatio < 0 || p.MissingRatio >= 1:
+		return fmt.Errorf("corrupt: missing ratio %v outside [0,1)", p.MissingRatio)
+	case p.FaultyRatio < 0 || p.FaultyRatio >= 1:
+		return fmt.Errorf("corrupt: faulty ratio %v outside [0,1)", p.FaultyRatio)
+	case p.MissingRatio+p.FaultyRatio >= 1:
+		return fmt.Errorf("corrupt: missing %v + faulty %v leave no clean data", p.MissingRatio, p.FaultyRatio)
+	case p.BiasMinMeters <= 0 || p.BiasMaxMeters < p.BiasMinMeters:
+		return fmt.Errorf("corrupt: bad bias bounds [%v,%v]", p.BiasMinMeters, p.BiasMaxMeters)
+	}
+	return nil
+}
+
+// Result bundles the corrupted view of a fleet.
+type Result struct {
+	// SX and SY are the Sensory Matrices: X∘E + F∘ε (faulty bias applied),
+	// zeros at missing cells.
+	SX, SY *mat.Dense
+	// Existence is E: 1 where a report was received, 0 where missing.
+	Existence *mat.Dense
+	// Faulty is the ground-truth F: 1 where a bias was injected.
+	Faulty *mat.Dense
+}
+
+// Apply draws missing and faulty cells over ground-truth coordinates and
+// returns the corrupted sensory matrices together with the ground truth
+// masks. X and Y must have identical shape.
+func Apply(p Plan, x, y *mat.Dense) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n, t := x.Dims()
+	yn, yt := y.Dims()
+	if yn != n || yt != t {
+		return nil, fmt.Errorf("corrupt: X %dx%d and Y %dx%d differ", n, t, yn, yt)
+	}
+	total := n * t
+	rng := stat.NewRNG(p.Seed)
+
+	// Choose missing cells, then faulty cells among the remainder, via one
+	// permutation: the first nMissing indices go missing, the next nFaulty
+	// become faulty. This matches the paper's generation where a cell is
+	// missing or faulty, never both.
+	nMissing := int(p.MissingRatio * float64(total))
+	nFaulty := int(p.FaultyRatio * float64(total))
+	perm := rng.Child("cells").Perm(total)
+
+	res := &Result{
+		SX:        x.Clone(),
+		SY:        y.Clone(),
+		Existence: mat.Ones(n, t),
+		Faulty:    mat.New(n, t),
+	}
+	biasRNG := rng.Child("bias")
+	for k, cell := range perm[:nMissing+nFaulty] {
+		i, j := cell/t, cell%t
+		if k < nMissing {
+			res.Existence.Set(i, j, 0)
+			res.SX.Set(i, j, 0)
+			res.SY.Set(i, j, 0)
+			continue
+		}
+		res.Faulty.Set(i, j, 1)
+		res.SX.Add(i, j, drawBias(biasRNG, p))
+		res.SY.Add(i, j, drawBias(biasRNG, p))
+	}
+	return res, nil
+}
+
+// drawBias samples ε: a kilometers-scale offset with random sign.
+func drawBias(rng *stat.RNG, p Plan) float64 {
+	return rng.Sign() * rng.Uniform(p.BiasMinMeters, p.BiasMaxMeters)
+}
+
+// CorruptVelocity returns copies of vx, vy where a fraction gamma of cells
+// (chosen jointly for both components) are replaced by a uniform draw in
+// [0, 2v] — the ±100 % velocity error of the paper's §IV-D robustness study.
+// It returns an error when gamma is outside [0,1) or shapes differ.
+func CorruptVelocity(vx, vy *mat.Dense, gamma float64, seed int64) (*mat.Dense, *mat.Dense, error) {
+	if gamma < 0 || gamma >= 1 {
+		return nil, nil, fmt.Errorf("corrupt: velocity fault ratio %v outside [0,1)", gamma)
+	}
+	n, t := vx.Dims()
+	yn, yt := vy.Dims()
+	if yn != n || yt != t {
+		return nil, nil, fmt.Errorf("corrupt: VX %dx%d and VY %dx%d differ", n, t, yn, yt)
+	}
+	outX, outY := vx.Clone(), vy.Clone()
+	rng := stat.NewRNG(seed).Child("velocity")
+	total := n * t
+	nBad := int(gamma * float64(total))
+	for _, cell := range rng.Perm(total)[:nBad] {
+		i, j := cell/t, cell%t
+		outX.Set(i, j, rng.Uniform(0, 2)*outX.At(i, j))
+		outY.Set(i, j, rng.Uniform(0, 2)*outY.At(i, j))
+	}
+	return outX, outY, nil
+}
+
+// Ratios reports the realized missing and faulty fractions of a result,
+// useful for sanity-checking draws in tests and reports.
+func (r *Result) Ratios() (missing, faulty float64) {
+	n, t := r.Existence.Dims()
+	total := float64(n * t)
+	if total == 0 {
+		return 0, 0
+	}
+	missing = float64(r.Existence.CountIf(func(v float64) bool { return v == 0 })) / total
+	faulty = float64(r.Faulty.CountIf(func(v float64) bool { return v == 1 })) / total
+	return missing, faulty
+}

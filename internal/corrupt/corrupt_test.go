@@ -1,0 +1,253 @@
+package corrupt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"itscs/internal/mat"
+	"itscs/internal/stat"
+)
+
+func groundTruth(n, t int) (*mat.Dense, *mat.Dense) {
+	x := mat.New(n, t)
+	y := mat.New(n, t)
+	rng := stat.NewRNG(77)
+	for i := 0; i < n; i++ {
+		for j := 0; j < t; j++ {
+			x.Set(i, j, rng.Uniform(0, 100_000))
+			y.Set(i, j, rng.Uniform(0, 100_000))
+		}
+	}
+	return x, y
+}
+
+func plan(alpha, beta float64) Plan {
+	p := DefaultPlan()
+	p.MissingRatio = alpha
+	p.FaultyRatio = beta
+	return p
+}
+
+func TestApplyRatios(t *testing.T) {
+	x, y := groundTruth(40, 50)
+	res, err := Apply(plan(0.2, 0.3), x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing, faulty := res.Ratios()
+	if math.Abs(missing-0.2) > 0.01 {
+		t.Fatalf("missing ratio = %v, want ~0.2", missing)
+	}
+	if math.Abs(faulty-0.3) > 0.01 {
+		t.Fatalf("faulty ratio = %v, want ~0.3", faulty)
+	}
+}
+
+func TestApplyDisjointMissingAndFaulty(t *testing.T) {
+	x, y := groundTruth(30, 30)
+	res, err := Apply(plan(0.4, 0.4), x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 30; j++ {
+			if res.Existence.At(i, j) == 0 && res.Faulty.At(i, j) == 1 {
+				t.Fatalf("cell (%d,%d) both missing and faulty", i, j)
+			}
+		}
+	}
+}
+
+func TestApplyMissingCellsZeroed(t *testing.T) {
+	x, y := groundTruth(20, 20)
+	res, err := Apply(plan(0.3, 0), x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			if res.Existence.At(i, j) == 0 {
+				if res.SX.At(i, j) != 0 || res.SY.At(i, j) != 0 {
+					t.Fatalf("missing cell (%d,%d) not zeroed", i, j)
+				}
+			} else if res.SX.At(i, j) != x.At(i, j) {
+				t.Fatalf("clean cell (%d,%d) modified", i, j)
+			}
+		}
+	}
+}
+
+func TestApplyBiasMagnitude(t *testing.T) {
+	x, y := groundTruth(25, 25)
+	p := plan(0, 0.3)
+	res, err := Apply(p, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		for j := 0; j < 25; j++ {
+			devX := math.Abs(res.SX.At(i, j) - x.At(i, j))
+			devY := math.Abs(res.SY.At(i, j) - y.At(i, j))
+			if res.Faulty.At(i, j) == 1 {
+				if devX < p.BiasMinMeters || devX > p.BiasMaxMeters {
+					t.Fatalf("X bias %v outside [%v,%v]", devX, p.BiasMinMeters, p.BiasMaxMeters)
+				}
+				if devY < p.BiasMinMeters || devY > p.BiasMaxMeters {
+					t.Fatalf("Y bias %v outside [%v,%v]", devY, p.BiasMinMeters, p.BiasMaxMeters)
+				}
+			} else if devX != 0 || devY != 0 {
+				t.Fatalf("clean cell (%d,%d) has bias", i, j)
+			}
+		}
+	}
+}
+
+func TestApplyDeterministic(t *testing.T) {
+	x, y := groundTruth(15, 15)
+	a, err := Apply(plan(0.2, 0.2), x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Apply(plan(0.2, 0.2), x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.SX.Equal(b.SX, 0) || !a.Existence.Equal(b.Existence, 0) || !a.Faulty.Equal(b.Faulty, 0) {
+		t.Fatal("same seed must reproduce corruption exactly")
+	}
+	p2 := plan(0.2, 0.2)
+	p2.Seed = 42
+	c, err := Apply(p2, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SX.Equal(c.SX, 0) {
+		t.Fatal("different seed should change the draw")
+	}
+}
+
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	x, y := groundTruth(10, 10)
+	xc, yc := x.Clone(), y.Clone()
+	if _, err := Apply(plan(0.3, 0.3), x, y); err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(xc, 0) || !y.Equal(yc, 0) {
+		t.Fatal("Apply must not mutate ground truth")
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	x, y := groundTruth(5, 5)
+	bad := []Plan{
+		plan(-0.1, 0),
+		plan(0, -0.1),
+		plan(1.0, 0),
+		plan(0, 1.0),
+		plan(0.6, 0.6), // no clean data left
+		{MissingRatio: 0.1, FaultyRatio: 0.1, BiasMinMeters: 0, BiasMaxMeters: 10, Seed: 1},
+		{MissingRatio: 0.1, FaultyRatio: 0.1, BiasMinMeters: 10, BiasMaxMeters: 5, Seed: 1},
+	}
+	for i, p := range bad {
+		if _, err := Apply(p, x, y); err == nil {
+			t.Fatalf("plan %d should be rejected", i)
+		}
+	}
+	if _, err := Apply(plan(0.1, 0.1), x, mat.New(3, 3)); err == nil {
+		t.Fatal("mismatched shapes should be rejected")
+	}
+}
+
+func TestCorruptVelocity(t *testing.T) {
+	vx := mat.Filled(20, 20, 10)
+	vy := mat.Filled(20, 20, -4)
+	ox, oy, err := CorruptVelocity(vx, vy, 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			cx, cy := ox.At(i, j), oy.At(i, j)
+			if cx != 10 || cy != -4 {
+				changed++
+				// Replacement must lie in [0, 2v] for each component.
+				if cx < 0 || cx > 20 {
+					t.Fatalf("vx replacement %v outside [0,20]", cx)
+				}
+				if cy > 0 || cy < -8 {
+					t.Fatalf("vy replacement %v outside [-8,0]", cy)
+				}
+			}
+		}
+	}
+	want := int(0.25 * 400)
+	if changed < want-20 || changed > want+20 {
+		t.Fatalf("changed %d cells, want ~%d", changed, want)
+	}
+	// Originals untouched.
+	if vx.At(0, 0) != 10 || vy.At(0, 0) != -4 {
+		t.Fatal("CorruptVelocity must not mutate inputs")
+	}
+}
+
+func TestCorruptVelocityValidation(t *testing.T) {
+	vx := mat.New(3, 3)
+	if _, _, err := CorruptVelocity(vx, vx, -0.1, 1); err == nil {
+		t.Fatal("negative gamma should be rejected")
+	}
+	if _, _, err := CorruptVelocity(vx, vx, 1.0, 1); err == nil {
+		t.Fatal("gamma = 1 should be rejected")
+	}
+	if _, _, err := CorruptVelocity(vx, mat.New(2, 2), 0.1, 1); err == nil {
+		t.Fatal("shape mismatch should be rejected")
+	}
+	ox, oy, err := CorruptVelocity(vx, vx, 0, 1)
+	if err != nil || !ox.Equal(vx, 0) || !oy.Equal(vx, 0) {
+		t.Fatal("gamma = 0 must be a no-op copy")
+	}
+}
+
+func TestRatiosEmptyMatrix(t *testing.T) {
+	r := &Result{Existence: mat.New(0, 0), Faulty: mat.New(0, 0)}
+	m, f := r.Ratios()
+	if m != 0 || f != 0 {
+		t.Fatal("empty result must report zero ratios")
+	}
+}
+
+// Property: for any valid (α, β) the realized ratios match the request
+// within one cell of rounding, and missing∩faulty = ∅.
+func TestPropertyApplyRespectsPlan(t *testing.T) {
+	x, y := groundTruth(18, 22)
+	total := float64(18 * 22)
+	f := func(seed int64, a, b uint8) bool {
+		alpha := float64(a%45) / 100 // 0 .. 0.44
+		beta := float64(b%45) / 100
+		p := plan(alpha, beta)
+		p.Seed = seed
+		res, err := Apply(p, x, y)
+		if err != nil {
+			return false
+		}
+		missing, faulty := res.Ratios()
+		if math.Abs(missing-alpha) > 1.5/total+0.005 {
+			return false
+		}
+		if math.Abs(faulty-beta) > 0.01 {
+			return false
+		}
+		for i := 0; i < 18; i++ {
+			for j := 0; j < 22; j++ {
+				if res.Existence.At(i, j) == 0 && res.Faulty.At(i, j) == 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,639 @@
+// Package csrecon implements the CORRECT stage of I(TS,CS): low-rank
+// matrix completion of the sensory matrices via an L·Rᵀ factorization
+// minimized with Alternating Steepest Descent (paper Algorithm 2,
+// following Tanner & Wei's ASD).
+//
+// Three objective variants mirror the paper's evaluation:
+//
+//	Basic             min ‖(LRᵀ)∘B − S‖²F + λ₁(‖L‖²F + ‖R‖²F)                    (Eq. 20)
+//	Temporal          … + λ₂‖LRᵀ·𝕋'‖²F                                           (temporal stability only)
+//	VelocityTemporal  … + λ₂‖LRᵀ·𝕋' − τ·V̄'‖²F                                    (Eq. 23)
+//
+// where 𝕋' is the difference operator of Eq. (24) with its first column
+// dropped: Eq. (24) as printed maps the first slot to itself rather than to
+// a difference, which would wrongly penalize the absolute position of the
+// first slot (and, in the velocity variant, compare a position against a
+// velocity). Dropping that column applies the constraint exactly to the
+// t−1 slot-to-slot transitions the paper reasons about.
+package csrecon
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"itscs/internal/mat"
+	"itscs/internal/stat"
+)
+
+// Variant selects the reconstruction objective.
+type Variant int
+
+const (
+	// VariantBasic is plain regularized matrix completion (Eq. 20).
+	VariantBasic Variant = iota + 1
+	// VariantTemporal adds the temporal-stability term without velocity.
+	VariantTemporal
+	// VariantVelocityTemporal is the full velocity-improved objective (Eq. 23).
+	VariantVelocityTemporal
+)
+
+// String implements fmt.Stringer for diagnostics and reports.
+func (v Variant) String() string {
+	switch v {
+	case VariantBasic:
+		return "CS"
+	case VariantTemporal:
+		return "CS+T"
+	case VariantVelocityTemporal:
+		return "CS+VT"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Options configures CS_Reconstruct.
+type Options struct {
+	// Rank is the factorization rank bound r. Zero selects the rank
+	// automatically: the smallest rank whose singular values capture
+	// AutoRankEnergy of the nearest-filled matrix's spectral mass — the
+	// paper's Fig. 4(a) energy criterion ("determined by experiment").
+	Rank int
+	// AutoRankEnergy is the spectral mass fraction for automatic rank
+	// selection; only consulted when Rank == 0. Zero means 0.95.
+	AutoRankEnergy float64
+	// Lambda1 weighs the nuclear-norm surrogate (rank minimization).
+	Lambda1 float64
+	// Lambda2 weighs the temporal/velocity stability term; ignored by
+	// VariantBasic.
+	Lambda2 float64
+	// Tau is the slot duration τ used to convert velocities to distances.
+	Tau time.Duration
+	// MaxIters bounds the ASD iterations.
+	MaxIters int
+	// TerminateRatio stops ASD when the relative objective improvement of
+	// a full L+R sweep falls below it (Algorithm 2's ratio).
+	TerminateRatio float64
+	// Variant selects the objective.
+	Variant Variant
+	// Seed drives the random fallback initialization used when the SVD
+	// warm start is disabled or fails.
+	Seed int64
+	// RandomInit skips the SVD warm start (used by the ablation bench).
+	RandomInit bool
+	// FixedStepSize replaces the exact analytic line search with a fixed
+	// step size (used by the ablation bench). Zero selects the exact
+	// line search, which is both faster to converge and parameter-free.
+	FixedStepSize float64
+}
+
+// DefaultOptions returns the configuration used in the evaluation.
+//
+// Lambda1 is kept tiny: the factors carry position-scale (10⁴–10⁵ m)
+// values, so even a small weight regularizes effectively. Lambda2 is set
+// so that absorbing a kilometers-scale fault into the factors costs more
+// in stability penalty than rejecting it saves in fitting error — at
+// λ₂ ≥ ~0.5 a spike of size ε adds ≈2λ₂ε² of stability penalty against
+// the ε² of fitting gain, so faults that leak past detection cannot bend
+// the reconstruction toward themselves.
+func DefaultOptions() Options {
+	return Options{
+		Rank:           0, // automatic, via the spectral-energy rule below
+		AutoRankEnergy: 0.985,
+		Lambda1:        1e-6,
+		Lambda2:        3.0,
+		Tau:            30 * time.Second,
+		MaxIters:       250,
+		TerminateRatio: 1e-7,
+		Variant:        VariantVelocityTemporal,
+		Seed:           1,
+	}
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	switch {
+	case o.Rank < 0:
+		return fmt.Errorf("csrecon: rank must be >= 0, got %d", o.Rank)
+	case o.AutoRankEnergy < 0 || o.AutoRankEnergy > 1:
+		return fmt.Errorf("csrecon: auto-rank energy %v outside [0,1]", o.AutoRankEnergy)
+	case o.Lambda1 < 0 || o.Lambda2 < 0:
+		return fmt.Errorf("csrecon: negative lambda (%v, %v)", o.Lambda1, o.Lambda2)
+	case o.Tau <= 0:
+		return fmt.Errorf("csrecon: tau must be positive, got %v", o.Tau)
+	case o.MaxIters < 1:
+		return fmt.Errorf("csrecon: max iters must be >= 1, got %d", o.MaxIters)
+	case o.TerminateRatio <= 0:
+		return fmt.Errorf("csrecon: terminate ratio must be positive, got %v", o.TerminateRatio)
+	case o.FixedStepSize < 0:
+		return fmt.Errorf("csrecon: negative fixed step size %v", o.FixedStepSize)
+	}
+	switch o.Variant {
+	case VariantBasic, VariantTemporal, VariantVelocityTemporal:
+	default:
+		return fmt.Errorf("csrecon: unknown variant %d", int(o.Variant))
+	}
+	return nil
+}
+
+// Reconstruct completes one axis of the dataset.
+//
+// s is the sensory matrix, b the Generalized Binary Index Matrix (1 where a
+// value is observed AND currently trusted), and avgV the Average Velocity
+// Matrix V̄ for this axis — required by VariantVelocityTemporal and ignored
+// otherwise (may be nil).
+//
+// It returns the dense reconstruction Ŝ = L·Rᵀ.
+func Reconstruct(s, b, avgV *mat.Dense, opt Options) (*mat.Dense, error) {
+	result, err := ReconstructDetailed(s, b, avgV, opt)
+	if err != nil {
+		return nil, err
+	}
+	return result.SHat, nil
+}
+
+// Result carries the reconstruction with convergence diagnostics.
+type Result struct {
+	// SHat is the reconstructed matrix L·Rᵀ.
+	SHat *mat.Dense
+	// Iterations is the number of ASD sweeps performed.
+	Iterations int
+	// Objective is the final value of the optimization objective.
+	Objective float64
+	// ObjectiveTrace records the objective after every sweep.
+	ObjectiveTrace []float64
+}
+
+// ReconstructDetailed is Reconstruct with convergence diagnostics.
+func ReconstructDetailed(s, b, avgV *mat.Dense, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	n, t := s.Dims()
+	if n == 0 || t == 0 {
+		return nil, fmt.Errorf("csrecon: empty sensory matrix")
+	}
+	if br, bc := b.Dims(); br != n || bc != t {
+		return nil, fmt.Errorf("csrecon: B is %dx%d, want %dx%d", br, bc, n, t)
+	}
+	prob, err := newProblem(s, b, avgV, opt, n, t)
+	if err != nil {
+		return nil, err
+	}
+	l, r, err := initFactors(s, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	return prob.run(l, r, opt)
+}
+
+// problem precomputes the constant pieces of the objective.
+type problem struct {
+	s, b *mat.Dense
+	// sMasked = s∘b: the trusted observations.
+	sMasked *mat.Dense
+	// useStability records whether the 𝕋' term is active (false for
+	// VariantBasic or single-column input). The operator itself is applied
+	// via the O(n·t) kernels applyDiff/applyDiffAdjoint rather than a
+	// materialized matrix.
+	useStability bool
+	// target is τ·V̄ restricted to the transition columns (n×(t−1));
+	// all zeros for VariantTemporal.
+	target  *mat.Dense
+	lambda1 float64
+	lambda2 float64
+	// fixedStep, when positive, replaces the exact line search.
+	fixedStep float64
+}
+
+func newProblem(s, b, avgV *mat.Dense, opt Options, n, t int) (*problem, error) {
+	sMasked, err := s.Hadamard(b)
+	if err != nil {
+		return nil, fmt.Errorf("csrecon: mask sensory matrix: %w", err)
+	}
+	p := &problem{
+		s:         s,
+		b:         b,
+		sMasked:   sMasked,
+		lambda1:   opt.Lambda1,
+		lambda2:   opt.Lambda2,
+		fixedStep: opt.FixedStepSize,
+	}
+	if opt.Variant == VariantBasic || t < 2 {
+		return p, nil
+	}
+	p.useStability = true
+	p.target = mat.New(n, t-1)
+	if opt.Variant == VariantVelocityTemporal {
+		if avgV == nil {
+			return nil, fmt.Errorf("csrecon: %v requires the average velocity matrix", opt.Variant)
+		}
+		if vr, vc := avgV.Dims(); vr != n || vc != t {
+			return nil, fmt.Errorf("csrecon: V̄ is %dx%d, want %dx%d", vr, vc, n, t)
+		}
+		tau := opt.Tau.Seconds()
+		for i := 0; i < n; i++ {
+			vrow := avgV.RowView(i)
+			trow := p.target.RowView(i)
+			for j := 1; j < t; j++ {
+				trow[j-1] = vrow[j] * tau
+			}
+		}
+	}
+	return p, nil
+}
+
+// applyDiff computes M·𝕋' in O(n·t), where 𝕋' is Eq. (24)'s operator with
+// the first column dropped: column j of the result is the transition
+// m(i,j+1) − m(i,j), aligned with +τ·V̄(i,j+1). The sign is irrelevant for
+// the pure temporal penalty but must match the velocity target in the full
+// variant.
+func applyDiff(m *mat.Dense) *mat.Dense {
+	n, t := m.Dims()
+	out := mat.New(n, t-1)
+	for i := 0; i < n; i++ {
+		src := m.RowView(i)
+		dst := out.RowView(i)
+		for j := 0; j < t-1; j++ {
+			dst[j] = src[j+1] - src[j]
+		}
+	}
+	return out
+}
+
+// applyDiffAdjoint computes G·𝕋'ᵀ in O(n·t):
+// (G·𝕋'ᵀ)(i,j) = g(i,j−1) − g(i,j) with out-of-range terms zero.
+func applyDiffAdjoint(g *mat.Dense) *mat.Dense {
+	n, tm1 := g.Dims()
+	t := tm1 + 1
+	out := mat.New(n, t)
+	for i := 0; i < n; i++ {
+		src := g.RowView(i)
+		dst := out.RowView(i)
+		for j := 0; j < t; j++ {
+			var v float64
+			if j-1 >= 0 && j-1 < tm1 {
+				v += src[j-1]
+			}
+			if j < tm1 {
+				v -= src[j]
+			}
+			dst[j] = v
+		}
+	}
+	return out
+}
+
+// initFactors produces the ASD starting point: nearest-value fill of the
+// missing cells followed by a truncated SVD (Algorithm 2 lines 2-8), or a
+// small random factorization when RandomInit is set. When opt.Rank is zero
+// the rank is chosen by the spectral-energy criterion.
+func initFactors(s, b *mat.Dense, opt Options) (l, r *mat.Dense, err error) {
+	n, t := s.Dims()
+	maxRank := minInt(n, t)
+	if opt.RandomInit {
+		rank := opt.Rank
+		if rank == 0 {
+			// No spectrum to consult without the warm start; a quarter of
+			// the minimal dimension is a generous over-parameterization
+			// that the regularizers rein in.
+			rank = maxInt(2, maxRank/4)
+		}
+		if rank > maxRank {
+			rank = maxRank
+		}
+		rng := stat.NewRNG(opt.Seed).Child("asd-init")
+		scale := s.MaxAbs()
+		if scale == 0 {
+			scale = 1
+		}
+		scale = math.Sqrt(scale / float64(rank))
+		l = mat.New(n, rank)
+		r = mat.New(t, rank)
+		l.Apply(func(int, int, float64) float64 { return rng.NormFloat64() * scale })
+		r.Apply(func(int, int, float64) float64 { return rng.NormFloat64() * scale })
+		return l, r, nil
+	}
+	filled := nearestFill(s, b)
+	full, err := mat.SVD(filled)
+	if err != nil {
+		return nil, nil, fmt.Errorf("csrecon: warm start SVD: %w", err)
+	}
+	rank := opt.Rank
+	if rank == 0 {
+		energy := opt.AutoRankEnergy
+		if energy == 0 {
+			energy = 0.95
+		}
+		rank = maxInt(2, full.RankForEnergy(energy))
+	}
+	if rank > maxRank {
+		rank = maxRank
+	}
+	l = mat.New(n, rank)
+	r = mat.New(t, rank)
+	for k := 0; k < rank; k++ {
+		root := math.Sqrt(full.S[k])
+		for i := 0; i < n; i++ {
+			l.Set(i, k, full.U.At(i, k)*root)
+		}
+		for j := 0; j < t; j++ {
+			r.Set(j, k, full.V.At(j, k)*root)
+		}
+	}
+	return l, r, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// nearestFill replaces untrusted cells (b == 0) with the nearest trusted
+// value in the same row (ties resolve to the left neighbour). Rows with no
+// trusted cells are filled with the column means of trusted cells in other
+// rows, or zero if the whole matrix is untrusted.
+func nearestFill(s, b *mat.Dense) *mat.Dense {
+	n, t := s.Dims()
+	out := s.Clone()
+	colSum := make([]float64, t)
+	colCount := make([]float64, t)
+	for i := 0; i < n; i++ {
+		brow := b.RowView(i)
+		srow := s.RowView(i)
+		for j := 0; j < t; j++ {
+			if brow[j] != 0 {
+				colSum[j] += srow[j]
+				colCount[j]++
+			}
+		}
+	}
+	left := make([]int, t)
+	right := make([]int, t)
+	for i := 0; i < n; i++ {
+		brow := b.RowView(i)
+		srow := s.RowView(i)
+		orow := out.RowView(i)
+		// Nearest trusted index on each side of every cell.
+		idx := -1
+		for j := 0; j < t; j++ {
+			if brow[j] != 0 {
+				idx = j
+			}
+			left[j] = idx
+		}
+		idx = -1
+		for j := t - 1; j >= 0; j-- {
+			if brow[j] != 0 {
+				idx = j
+			}
+			right[j] = idx
+		}
+		for j := 0; j < t; j++ {
+			if brow[j] != 0 {
+				continue
+			}
+			switch {
+			case left[j] < 0 && right[j] < 0:
+				// Fully untrusted row: fall back to the column mean.
+				if colCount[j] > 0 {
+					orow[j] = colSum[j] / colCount[j]
+				} else {
+					orow[j] = 0
+				}
+			case left[j] < 0:
+				orow[j] = srow[right[j]]
+			case right[j] < 0:
+				orow[j] = srow[left[j]]
+			case right[j]-j < j-left[j]:
+				orow[j] = srow[right[j]]
+			default:
+				orow[j] = srow[left[j]]
+			}
+		}
+	}
+	return out
+}
+
+// run performs the ASD sweeps (Algorithm 2 lines 9-18).
+//
+// The objective is tracked incrementally: along a fixed direction every
+// term is quadratic in the step size, so the exact line search that yields
+// α* = num/den also yields the new objective f(α*) = f(0) − num²/den.
+// This avoids a third residual evaluation per sweep.
+func (p *problem) run(l, r *mat.Dense, opt Options) (*Result, error) {
+	obj := p.objective(l, r)
+	trace := make([]float64, 0, opt.MaxIters+1)
+	trace = append(trace, obj)
+	iters := 0
+	for ; iters < opt.MaxIters; iters++ {
+		dropL, err := p.step(l, r, true)
+		if err != nil {
+			return nil, err
+		}
+		dropR, err := p.step(l, r, false)
+		if err != nil {
+			return nil, err
+		}
+		next := obj - dropL - dropR
+		trace = append(trace, next)
+		if obj > 0 && (obj-next)/obj < opt.TerminateRatio {
+			obj = next
+			iters++
+			break
+		}
+		obj = next
+	}
+	sHat, err := l.MulT(r)
+	if err != nil {
+		return nil, fmt.Errorf("csrecon: assemble reconstruction: %w", err)
+	}
+	return &Result{SHat: sHat, Iterations: iters, Objective: obj, ObjectiveTrace: trace}, nil
+}
+
+// residuals computes E1 = (LRᵀ − S)∘B and, when the stability term is
+// active, G = LRᵀ·𝕋' − target.
+func (p *problem) residuals(l, r *mat.Dense) (e1, g *mat.Dense, err error) {
+	m, err := l.MulT(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	e1, err = m.Hadamard(p.b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := e1.SubInPlace(p.sMasked); err != nil {
+		return nil, nil, err
+	}
+	if !p.useStability {
+		return e1, nil, nil
+	}
+	g = applyDiff(m)
+	if err := g.SubInPlace(p.target); err != nil {
+		return nil, nil, err
+	}
+	return e1, g, nil
+}
+
+// objective evaluates Eq. (23) (or its reduced variants) at (L, R).
+func (p *problem) objective(l, r *mat.Dense) float64 {
+	e1, g, err := p.residuals(l, r)
+	if err != nil {
+		// Shapes are validated at construction; failure here is a bug.
+		panic(fmt.Sprintf("csrecon: objective residuals: %v", err))
+	}
+	obj := e1.FrobeniusNorm2() + p.lambda1*(l.FrobeniusNorm2()+r.FrobeniusNorm2())
+	if g != nil {
+		obj += p.lambda2 * g.FrobeniusNorm2()
+	}
+	return obj
+}
+
+// step performs one steepest-descent update on L (updateL) or R with the
+// exact analytic line search: every objective term is quadratic in the step
+// size α along a fixed direction, so α* has a closed form. It returns the
+// exact objective decrease num²/den achieved by the step.
+func (p *problem) step(l, r *mat.Dense, updateL bool) (drop float64, err error) {
+	e1, g, err := p.residuals(l, r)
+	if err != nil {
+		return 0, err
+	}
+	var grad *mat.Dense
+	if updateL {
+		grad, err = p.gradL(l, r, e1, g)
+	} else {
+		grad, err = p.gradR(l, r, e1, g)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if grad.MaxAbs() == 0 {
+		return 0, nil
+	}
+	num, den, err := p.lineStats(l, r, grad, e1, g, updateL)
+	if err != nil {
+		return 0, err
+	}
+	if den <= 0 || math.IsNaN(den) || math.IsInf(den, 0) {
+		return 0, nil
+	}
+	alpha := num / den
+	if p.fixedStep > 0 {
+		alpha = p.fixedStep
+	}
+	if alpha == 0 {
+		return 0, nil
+	}
+	// Exact objective change along the quadratic: f(0) − f(α) = 2α·num − α²·den
+	// (num²/den at the exact minimizer; possibly negative for a fixed step).
+	drop = 2*alpha*num - alpha*alpha*den
+	if updateL {
+		return drop, l.AxpyInPlace(-alpha, grad)
+	}
+	return drop, r.AxpyInPlace(-alpha, grad)
+}
+
+// gradL computes ∇_L f = 2·E1·R + 2λ₁·L + 2λ₂·G·𝕋'ᵀ·R.
+func (p *problem) gradL(l, r, e1, g *mat.Dense) (*mat.Dense, error) {
+	grad, err := e1.Mul(r)
+	if err != nil {
+		return nil, err
+	}
+	grad.Scale(2)
+	if err := grad.AxpyInPlace(2*p.lambda1, l); err != nil {
+		return nil, err
+	}
+	if g != nil {
+		gtr, err := applyDiffAdjoint(g).Mul(r) // (G·𝕋'ᵀ)·R : n×r
+		if err != nil {
+			return nil, err
+		}
+		if err := grad.AxpyInPlace(2*p.lambda2, gtr); err != nil {
+			return nil, err
+		}
+	}
+	return grad, nil
+}
+
+// gradR computes ∇_R f = 2·E1ᵀ·L + 2λ₁·R + 2λ₂·𝕋'·Gᵀ·L.
+func (p *problem) gradR(l, r, e1, g *mat.Dense) (*mat.Dense, error) {
+	grad, err := e1.TMul(l) // E1ᵀ·L : t×r
+	if err != nil {
+		return nil, err
+	}
+	grad.Scale(2)
+	if err := grad.AxpyInPlace(2*p.lambda1, r); err != nil {
+		return nil, err
+	}
+	if g != nil {
+		// 𝕋'·Gᵀ·L = (G·𝕋'ᵀ)ᵀ·L, with the adjoint applied in O(n·t).
+		tgl, err := applyDiffAdjoint(g).TMul(l) // t×r
+		if err != nil {
+			return nil, err
+		}
+		if err := grad.AxpyInPlace(2*p.lambda2, tgl); err != nil {
+			return nil, err
+		}
+	}
+	return grad, nil
+}
+
+// lineStats computes the quadratic coefficients of f along −grad:
+// f(α) = f(0) − 2α·num + α²·den, so the exact minimizer is α* = num/den.
+//
+// For the L step with direction D: P1 = (D·Rᵀ)∘B, P3 = D·Rᵀ·𝕋',
+// num = ⟨E1,P1⟩ + λ₁⟨L,D⟩ + λ₂⟨G,P3⟩, den = ‖P1‖² + λ₁‖D‖² + λ₂‖P3‖²,
+// and symmetrically for the R step with P1 = (L·Dᵀ)∘B, P3 = L·Dᵀ·𝕋'.
+func (p *problem) lineStats(l, r, grad, e1, g *mat.Dense, updateL bool) (num, den float64, err error) {
+	var dm *mat.Dense
+	if updateL {
+		dm, err = grad.MulT(r) // D·Rᵀ : n×t
+	} else {
+		dm, err = l.MulT(grad) // L·Dᵀ : n×t
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	p1, err := dm.Hadamard(p.b)
+	if err != nil {
+		return 0, 0, err
+	}
+	num, err = e1.Dot(p1)
+	if err != nil {
+		return 0, 0, err
+	}
+	den = p1.FrobeniusNorm2()
+
+	var anchor *mat.Dense
+	if updateL {
+		anchor = l
+	} else {
+		anchor = r
+	}
+	dotAnchor, err := anchor.Dot(grad)
+	if err != nil {
+		return 0, 0, err
+	}
+	num += p.lambda1 * dotAnchor
+	den += p.lambda1 * grad.FrobeniusNorm2()
+
+	if g != nil {
+		p3 := applyDiff(dm)
+		dotG, err := g.Dot(p3)
+		if err != nil {
+			return 0, 0, err
+		}
+		num += p.lambda2 * dotG
+		den += p.lambda2 * p3.FrobeniusNorm2()
+	}
+	return num, den, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

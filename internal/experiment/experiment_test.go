@@ -1,0 +1,206 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// tinyConfig keeps harness tests fast: the goal here is correctness of the
+// plumbing, not paper-scale numbers (those are the benchmarks' job).
+func tinyConfig() Config {
+	return DefaultConfig(Scale{Participants: 20, Slots: 60})
+}
+
+func TestFig1Stats(t *testing.T) {
+	stats, err := Fig1(tinyConfig(), 0.11, 0.28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RealizedMissing < 0.08 || stats.RealizedMissing > 0.14 {
+		t.Fatalf("realized missing = %v, want ~0.11", stats.RealizedMissing)
+	}
+	if stats.RealizedFaulty < 0.25 || stats.RealizedFaulty > 0.31 {
+		t.Fatalf("realized faulty = %v, want ~0.28", stats.RealizedFaulty)
+	}
+	if stats.MeanBiasMeters < 2000 {
+		t.Fatalf("mean bias = %v, want kilometers-scale", stats.MeanBiasMeters)
+	}
+	if stats.MaxStepMeters <= stats.CleanStepP95 {
+		t.Fatal("corrupted steps must dwarf clean steps")
+	}
+}
+
+func TestFig4aEnergyConcentration(t *testing.T) {
+	points, err := Fig4a(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 20 { // min(participants, slots)
+		t.Fatalf("got %d spectrum points", len(points))
+	}
+	last := points[len(points)-1]
+	if last.EnergyX < 0.999 || last.EnergyY < 0.999 {
+		t.Fatal("energy CDF must reach 1")
+	}
+	// Monotone non-decreasing CDF.
+	for i := 1; i < len(points); i++ {
+		if points[i].EnergyX < points[i-1].EnergyX {
+			t.Fatal("X energy CDF not monotone")
+		}
+	}
+	// Low-rank: 95% of energy well before 60% of the spectrum.
+	for _, p := range points {
+		if p.EnergyX >= 0.95 {
+			if p.NormalizedIndex > 0.6 {
+				t.Fatalf("X needs %.0f%% of spectrum for 95%% energy", p.NormalizedIndex*100)
+			}
+			break
+		}
+	}
+}
+
+func TestFig4bVelocityImproves(t *testing.T) {
+	rows, err := Fig4b(tinyConfig(), []float64{0.5, 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	p95 := rows[1]
+	if p95.DVX >= p95.DX || p95.DVY >= p95.DY {
+		t.Fatalf("velocity must tighten the p95: raw (%.0f, %.0f) vs improved (%.0f, %.0f)",
+			p95.DX, p95.DY, p95.DVX, p95.DVY)
+	}
+}
+
+func TestFig5ShapeAndOrdering(t *testing.T) {
+	points, err := Fig5(tinyConfig(), []float64{0.2}, []float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 TMM + 3 framework variants.
+	if len(points) != 4 {
+		t.Fatalf("got %d points, want 4", len(points))
+	}
+	byMethod := map[Method]DetectionPoint{}
+	for _, p := range points {
+		byMethod[p.Method] = p
+	}
+	full, ok := byMethod[MethodITSCS]
+	if !ok {
+		t.Fatal("missing full framework point")
+	}
+	if full.Recall < 0.9 {
+		t.Fatalf("framework recall = %v", full.Recall)
+	}
+	tmm, ok := byMethod[MethodTMM]
+	if !ok {
+		t.Fatal("missing TMM point")
+	}
+	// The paper's headline: the framework dominates TMM under missingness.
+	if tmm.Recall > full.Recall && tmm.Precision > full.Precision {
+		t.Fatalf("TMM unexpectedly dominates: TMM P=%.3f R=%.3f vs full P=%.3f R=%.3f",
+			tmm.Precision, tmm.Recall, full.Precision, full.Recall)
+	}
+}
+
+func TestFig6ShapeCSDegrades(t *testing.T) {
+	points, err := Fig6(tinyConfig(), []float64{0.2}, []float64{0, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 beta values × 4 methods.
+	if len(points) != 8 {
+		t.Fatalf("got %d points, want 8", len(points))
+	}
+	get := func(beta float64, m Method) float64 {
+		for _, p := range points {
+			if p.Beta == beta && p.Method == m {
+				return p.MAE
+			}
+		}
+		t.Fatalf("missing point beta=%v method=%s", beta, m)
+		return 0
+	}
+	// Plain CS must degrade sharply once faults appear; the framework must not.
+	csClean, csFaulty := get(0, MethodPlainCS), get(0.3, MethodPlainCS)
+	fullClean, fullFaulty := get(0, MethodITSCS), get(0.3, MethodITSCS)
+	if csFaulty < 2*csClean {
+		t.Fatalf("plain CS should degrade sharply with faults: %.0f -> %.0f", csClean, csFaulty)
+	}
+	if fullFaulty > 3*fullClean+200 {
+		t.Fatalf("framework should resist faults: %.0f -> %.0f", fullClean, fullFaulty)
+	}
+	if fullFaulty > csFaulty {
+		t.Fatal("framework must beat plain CS under faults")
+	}
+}
+
+func TestFig7VelocityRobustness(t *testing.T) {
+	points, err := Fig7(tinyConfig(), []float64{0.2}, []float64{0.2}, []float64{0, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 reference + 2 gamma points.
+	if len(points) != 3 {
+		t.Fatalf("got %d points, want 3", len(points))
+	}
+	if points[0].Method != MethodITSCSNoV {
+		t.Fatal("first point must be the no-velocity reference")
+	}
+	var clean, corrupted float64
+	for _, p := range points[1:] {
+		if p.Gamma == 0 {
+			clean = p.MAE
+		} else {
+			corrupted = p.MAE
+		}
+	}
+	// Corrupted velocity should not be catastrophically worse than clean.
+	if corrupted > 3*clean+300 {
+		t.Fatalf("40%% faulty velocity blew up the error: %.0f vs %.0f", corrupted, clean)
+	}
+}
+
+func TestFig8ConvergenceTrace(t *testing.T) {
+	points, err := Fig8(tinyConfig(), []struct{ Alpha, Beta float64 }{{0.2, 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no convergence points")
+	}
+	last := points[len(points)-1]
+	if last.Changed != 0 {
+		t.Fatalf("final iteration should report stability, changed=%d", last.Changed)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Iteration != points[i-1].Iteration+1 {
+			t.Fatal("iterations must be consecutive")
+		}
+	}
+}
+
+func TestVariantForUnknownMethod(t *testing.T) {
+	if _, err := variantFor(MethodTMM); err == nil {
+		t.Fatal("TMM has no framework variant")
+	}
+	if _, err := variantFor(Method("bogus")); err == nil {
+		t.Fatal("unknown method must error")
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	cfg := tinyConfig()
+	a, err := newWorkload(cfg, 0.2, 0.2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newWorkload(cfg, 0.2, 0.2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.cor.SX.Equal(b.cor.SX, 0) || !a.vx.Equal(b.vx, 0) {
+		t.Fatal("workloads must be reproducible from the seed")
+	}
+}

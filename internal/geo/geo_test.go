@@ -1,0 +1,119 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDistance(t *testing.T) {
+	a := Point{X: 0, Y: 0}
+	b := Point{X: 3, Y: 4}
+	if d := a.DistanceTo(b); d != 5 {
+		t.Fatalf("distance = %v, want 5", d)
+	}
+	if d := a.DistanceTo(a); d != 0 {
+		t.Fatalf("self distance = %v", d)
+	}
+}
+
+func TestPointAdd(t *testing.T) {
+	p := Point{X: 1, Y: 2}.Add(3, -1)
+	if p.X != 4 || p.Y != 1 {
+		t.Fatalf("add = %+v", p)
+	}
+}
+
+func TestVec(t *testing.T) {
+	v := Vec{VX: 3, VY: 4}
+	if v.Speed() != 5 {
+		t.Fatalf("speed = %v", v.Speed())
+	}
+	s := v.Scale(2)
+	if s.VX != 6 || s.VY != 8 {
+		t.Fatalf("scale = %+v", s)
+	}
+}
+
+func TestShanghaiLikeRegion(t *testing.T) {
+	r := ShanghaiLike()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.WidthMeters != 110_000 || r.HeightMeters != 140_000 {
+		t.Fatalf("extent = %vx%v", r.WidthMeters, r.HeightMeters)
+	}
+	c := r.Center()
+	if c.X != 55_000 || c.Y != 70_000 {
+		t.Fatalf("center = %+v", c)
+	}
+}
+
+func TestContainsAndClamp(t *testing.T) {
+	r := ShanghaiLike()
+	if !r.Contains(Point{X: 0, Y: 0}) || !r.Contains(r.Center()) {
+		t.Fatal("region must contain origin and center")
+	}
+	if r.Contains(Point{X: -1, Y: 0}) || r.Contains(Point{X: 0, Y: 1e9}) {
+		t.Fatal("region must exclude outside points")
+	}
+	cl := r.Clamp(Point{X: -500, Y: 1e9})
+	if cl.X != 0 || cl.Y != r.HeightMeters {
+		t.Fatalf("clamp = %+v", cl)
+	}
+	if !r.Contains(cl) {
+		t.Fatal("clamped point must be contained")
+	}
+}
+
+func TestLatLonRoundTrip(t *testing.T) {
+	r := ShanghaiLike()
+	f := func(fx, fy float64) bool {
+		p := Point{
+			X: math.Abs(math.Mod(fx, 1)) * r.WidthMeters,
+			Y: math.Abs(math.Mod(fy, 1)) * r.HeightMeters,
+		}
+		lat, lon := r.ToLatLon(p)
+		back := r.FromLatLon(lat, lon)
+		return back.DistanceTo(p) < 0.01 // sub-centimeter round trip
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatLonScale(t *testing.T) {
+	r := ShanghaiLike()
+	// Moving 111,195 m north ≈ 1 degree of latitude.
+	lat0, _ := r.ToLatLon(Point{})
+	lat1, _ := r.ToLatLon(Point{Y: 111_195})
+	if math.Abs((lat1-lat0)-1) > 0.01 {
+		t.Fatalf("1 degree latitude should be ~111.2 km, got %v deg", lat1-lat0)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []Region{
+		{WidthMeters: 0, HeightMeters: 10},
+		{WidthMeters: 10, HeightMeters: -1},
+		{OriginLat: 91, WidthMeters: 1, HeightMeters: 1},
+		{OriginLon: -181, WidthMeters: 1, HeightMeters: 1},
+	}
+	for i, r := range cases {
+		if err := r.Validate(); err == nil {
+			t.Fatalf("case %d: want validation error", i)
+		}
+	}
+}
+
+func TestSpeedConversions(t *testing.T) {
+	if KmH(36) != 10 {
+		t.Fatalf("KmH(36) = %v", KmH(36))
+	}
+	if ToKmH(10) != 36 {
+		t.Fatalf("ToKmH(10) = %v", ToKmH(10))
+	}
+	if math.Abs(ToKmH(KmH(72.5))-72.5) > 1e-12 {
+		t.Fatal("conversions must round-trip")
+	}
+}

@@ -1,0 +1,58 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(r, c int) *Dense {
+	rng := rand.New(rand.NewSource(1))
+	m := New(r, c)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func BenchmarkMul158x240(b *testing.B) {
+	a := benchMatrix(158, 240)
+	bb := benchMatrix(240, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Mul(bb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMulT158x240(b *testing.B) {
+	l := benchMatrix(158, 40)
+	r := benchMatrix(240, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.MulT(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSVDPaperScale(b *testing.B) {
+	m := benchMatrix(158, 240)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SVD(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrobeniusNorm(b *testing.B) {
+	m := benchMatrix(158, 240)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.FrobeniusNorm2()
+	}
+}

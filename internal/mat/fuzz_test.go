@@ -1,0 +1,51 @@
+package mat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that the decoder never panics and that whatever it
+// accepts round-trips through the encoder.
+func FuzzReadCSV(f *testing.F) {
+	seeds := []string{
+		"1,2,3\n4,5,6\n",
+		"1\n",
+		"",
+		"NaN,2\n3,4\n",
+		"1e308,-1e308\n0,-0\n",
+		"  1 , 2 \n\n3,4\n",
+		"a,b\n",
+		"1,2\n3\n",
+		strings.Repeat("1,", 100) + "1\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, m); err != nil {
+			t.Fatalf("encode accepted matrix: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-decode own encoding: %v", err)
+		}
+		if br, bc := back.Dims(); br != m.Rows() || bc != m.Cols() {
+			t.Fatalf("round trip changed shape: %dx%d -> %dx%d", m.Rows(), m.Cols(), br, bc)
+		}
+		for i := 0; i < m.Rows(); i++ {
+			for j := 0; j < m.Cols(); j++ {
+				a, b := m.At(i, j), back.At(i, j)
+				if a != b && !(a != a && b != b) { // NaN-tolerant equality
+					t.Fatalf("round trip changed (%d,%d): %v -> %v", i, j, a, b)
+				}
+			}
+		}
+	})
+}

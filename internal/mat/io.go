@@ -1,0 +1,71 @@
+package mat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes m as comma-separated rows with full float64 precision.
+func WriteCSV(w io.Writer, m *Dense) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return fmt.Errorf("write csv: %w", err)
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return fmt.Errorf("write csv: %w", err)
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("write csv: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("write csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a matrix from comma-separated rows. Blank lines are
+// skipped; all rows must have the same number of fields.
+func ReadCSV(r io.Reader) (*Dense, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var rows [][]float64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		row := make([]float64, len(fields))
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("read csv line %d field %d: %w", line, j+1, err)
+			}
+			row[j] = v
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("read csv: %w", ErrEmptyInput)
+	}
+	m, err := NewFromRows(rows)
+	if err != nil {
+		return nil, fmt.Errorf("read csv: %w", err)
+	}
+	return m, nil
+}

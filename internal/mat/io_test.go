@@ -1,0 +1,77 @@
+package mat
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	m, _ := NewFromRows([][]float64{
+		{1.5, -2.25, 3e10},
+		{0, 1e-9, -7},
+	})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(m, 0) {
+		t.Fatalf("round trip mismatch:\n%v\nvs\n%v", back, m)
+	}
+}
+
+func TestCSVRoundTripNaN(t *testing.T) {
+	m := New(1, 3)
+	m.Set(0, 1, math.NaN())
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(back.At(0, 1)) {
+		t.Fatal("NaN must survive the round trip")
+	}
+	if back.At(0, 0) != 0 || back.At(0, 2) != 0 {
+		t.Fatal("zeros must survive the round trip")
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	m, err := ReadCSV(strings.NewReader("1,2\n\n3,4\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.At(1, 1) != 4 {
+		t.Fatalf("parsed %v", m)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,notanumber\n")); err == nil {
+		t.Fatal("bad field should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n")); err == nil {
+		t.Fatal("ragged rows should error")
+	}
+}
+
+func TestReadCSVWhitespaceTolerant(t *testing.T) {
+	m, err := ReadCSV(strings.NewReader("  1 , 2 \n 3 ,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("parsed %v", m)
+	}
+}

@@ -1,0 +1,511 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randomDense(rng *rand.Rand, r, c int) *Dense {
+	m := New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestNewZeroInitialized(t *testing.T) {
+	m := New(3, 4)
+	r, c := m.Dims()
+	if r != 3 || c != 4 {
+		t.Fatalf("Dims() = (%d,%d), want (3,4)", r, c)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewClampsNegativeDims(t *testing.T) {
+	m := New(-1, -5)
+	if !m.IsEmpty() {
+		t.Fatal("negative dims should produce an empty matrix")
+	}
+}
+
+func TestNewFromSlice(t *testing.T) {
+	m, err := NewFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 2) != 3 || m.At(1, 0) != 4 {
+		t.Fatalf("row-major layout broken: %v", m)
+	}
+	if _, err := NewFromSlice(2, 3, []float64{1}); err == nil {
+		t.Fatal("want shape error for short slice")
+	}
+}
+
+func TestNewFromRows(t *testing.T) {
+	m, err := NewFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 3 || m.Cols() != 2 || m.At(2, 1) != 6 {
+		t.Fatalf("unexpected matrix %v", m)
+	}
+	if _, err := NewFromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("want shape error for ragged rows")
+	}
+	empty, err := NewFromRows(nil)
+	if err != nil || !empty.IsEmpty() {
+		t.Fatalf("empty input should yield empty matrix, got %v, %v", empty, err)
+	}
+}
+
+func TestIdentityAndOnes(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("identity(%d,%d) = %v", i, j, id.At(i, j))
+			}
+		}
+	}
+	ones := Ones(2, 2)
+	if ones.Sum() != 4 {
+		t.Fatalf("Ones sum = %v", ones.Sum())
+	}
+	filled := Filled(2, 3, 2.5)
+	if filled.Sum() != 15 {
+		t.Fatalf("Filled sum = %v", filled.Sum())
+	}
+}
+
+func TestSetGetRowCol(t *testing.T) {
+	m := New(2, 3)
+	if err := m.SetRow(1, []float64{7, 8, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetCol(0, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Row(1); got[0] != 2 || got[2] != 9 {
+		t.Fatalf("Row(1) = %v", got)
+	}
+	if got := m.Col(0); got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Col(0) = %v", got)
+	}
+	if err := m.SetRow(5, []float64{1, 2, 3}); err == nil {
+		t.Fatal("want index error")
+	}
+	if err := m.SetRow(0, []float64{1}); err == nil {
+		t.Fatal("want shape error")
+	}
+	if err := m.SetCol(9, []float64{1, 2}); err == nil {
+		t.Fatal("want index error")
+	}
+	if err := m.SetCol(0, []float64{1}); err == nil {
+		t.Fatal("want shape error")
+	}
+}
+
+func TestRowViewAliases(t *testing.T) {
+	m := New(2, 2)
+	rv := m.RowView(0)
+	rv[1] = 42
+	if m.At(0, 1) != 42 {
+		t.Fatal("RowView must alias matrix storage")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := Ones(2, 2)
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	dst := New(2, 2)
+	src := Ones(2, 2)
+	if err := dst.CopyFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Sum() != 4 {
+		t.Fatalf("CopyFrom result sum = %v", dst.Sum())
+	}
+	if err := dst.CopyFrom(New(3, 3)); err == nil {
+		t.Fatal("want shape error")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := NewFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose dims %dx%d", tr.Rows(), tr.Cols())
+	}
+	if tr.At(2, 0) != 3 || tr.At(0, 1) != 4 {
+		t.Fatalf("transpose content wrong: %v", tr)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewFromRows([][]float64{{5, 6}, {7, 8}})
+	sum, err := a.AddMat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.At(1, 1) != 12 {
+		t.Fatalf("sum = %v", sum)
+	}
+	diff, err := b.SubMat(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.At(0, 0) != 4 {
+		t.Fatalf("diff = %v", diff)
+	}
+	if _, err := a.AddMat(New(1, 1)); err == nil {
+		t.Fatal("want shape error on add")
+	}
+	if _, err := a.SubMat(New(1, 1)); err == nil {
+		t.Fatal("want shape error on sub")
+	}
+	s := a.Scaled(2)
+	if s.At(1, 0) != 6 || a.At(1, 0) != 3 {
+		t.Fatal("Scaled must not mutate receiver")
+	}
+	a.Scale(10)
+	if a.At(0, 0) != 10 {
+		t.Fatal("Scale must mutate in place")
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := Ones(2, 2)
+	b := Filled(2, 2, 2)
+	if err := a.AddInPlace(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 3 {
+		t.Fatalf("AddInPlace got %v", a.At(0, 0))
+	}
+	if err := a.SubInPlace(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 1 {
+		t.Fatalf("SubInPlace got %v", a.At(0, 0))
+	}
+	if err := a.AxpyInPlace(3, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(1, 1) != 7 {
+		t.Fatalf("AxpyInPlace got %v", a.At(1, 1))
+	}
+	if err := a.HadamardInPlace(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 14 {
+		t.Fatalf("HadamardInPlace got %v", a.At(0, 0))
+	}
+	wrong := New(1, 1)
+	if err := a.AddInPlace(wrong); err == nil {
+		t.Fatal("want shape error")
+	}
+	if err := a.SubInPlace(wrong); err == nil {
+		t.Fatal("want shape error")
+	}
+	if err := a.AxpyInPlace(1, wrong); err == nil {
+		t.Fatal("want shape error")
+	}
+	if err := a.HadamardInPlace(wrong); err == nil {
+		t.Fatal("want shape error")
+	}
+}
+
+func TestHadamard(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewFromRows([][]float64{{2, 0}, {1, 3}})
+	h, err := a.Hadamard(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{2, 0}, {3, 12}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if h.At(i, j) != want[i][j] {
+				t.Fatalf("hadamard(%d,%d) = %v, want %v", i, j, h.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.Hadamard(New(1, 1)); err == nil {
+		t.Fatal("want shape error")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b, _ := NewFromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{58, 64}, {139, 154}}
+	for i := range want {
+		for j := range want[i] {
+			if p.At(i, j) != want[i][j] {
+				t.Fatalf("mul(%d,%d) = %v, want %v", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.Mul(a); err == nil {
+		t.Fatal("want shape error for 2x3 * 2x3")
+	}
+}
+
+func TestMulInto(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b := Identity(2)
+	dst := New(2, 2)
+	if err := a.MulInto(dst, b); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Equal(a, 0) {
+		t.Fatalf("A*I != A: %v", dst)
+	}
+	if err := a.MulInto(New(3, 3), b); err == nil {
+		t.Fatal("want shape error for wrong dst")
+	}
+	if err := a.MulInto(a, b); err == nil {
+		t.Fatal("want aliasing error")
+	}
+	if err := a.MulInto(dst, New(3, 2)); err == nil {
+		t.Fatal("want shape error for wrong operand")
+	}
+}
+
+func TestMulTAndTMulAgreeWithExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomDense(rng, 5, 3)
+	b := randomDense(rng, 4, 3)
+	got, err := a.MulT(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.Mul(b.T())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 1e-12) {
+		t.Fatal("MulT disagrees with explicit transpose")
+	}
+
+	c := randomDense(rng, 5, 4)
+	got2, err := a.TMul(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := a.T().Mul(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2.Equal(want2, 1e-12) {
+		t.Fatal("TMul disagrees with explicit transpose")
+	}
+
+	if _, err := a.MulT(New(2, 9)); err == nil {
+		t.Fatal("want shape error in MulT")
+	}
+	if _, err := a.TMul(New(9, 2)); err == nil {
+		t.Fatal("want shape error in TMul")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	m, _ := NewFromRows([][]float64{{3, 0}, {0, 4}})
+	if !almostEqual(m.FrobeniusNorm(), 5, 1e-12) {
+		t.Fatalf("‖m‖F = %v", m.FrobeniusNorm())
+	}
+	if !almostEqual(m.FrobeniusNorm2(), 25, 1e-12) {
+		t.Fatalf("‖m‖F² = %v", m.FrobeniusNorm2())
+	}
+	if m.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs = %v", m.MaxAbs())
+	}
+	huge := Filled(2, 2, 1e200)
+	if math.IsInf(huge.FrobeniusNorm(), 1) {
+		t.Fatal("FrobeniusNorm overflowed for large values")
+	}
+}
+
+func TestDot(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewFromRows([][]float64{{5, 6}, {7, 8}})
+	d, err := a.Dot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 70 {
+		t.Fatalf("dot = %v, want 70", d)
+	}
+	if _, err := a.Dot(New(1, 1)); err == nil {
+		t.Fatal("want shape error")
+	}
+}
+
+func TestReductionHelpers(t *testing.T) {
+	m, _ := NewFromRows([][]float64{{1, -2}, {3, 4}})
+	if m.Sum() != 6 {
+		t.Fatalf("Sum = %v", m.Sum())
+	}
+	if m.Mean() != 1.5 {
+		t.Fatalf("Mean = %v", m.Mean())
+	}
+	if n := m.CountIf(func(v float64) bool { return v > 0 }); n != 3 {
+		t.Fatalf("CountIf = %d", n)
+	}
+	if New(0, 0).Mean() != 0 {
+		t.Fatal("Mean of empty must be 0")
+	}
+}
+
+func TestApplyAndMap(t *testing.T) {
+	m := Ones(2, 2)
+	m.Apply(func(i, j int, v float64) float64 { return v + float64(i*10+j) })
+	if m.At(1, 1) != 12 {
+		t.Fatalf("Apply got %v", m.At(1, 1))
+	}
+	doubled := m.Map(func(v float64) float64 { return 2 * v })
+	if doubled.At(1, 1) != 24 || m.At(1, 1) != 12 {
+		t.Fatal("Map must not mutate receiver")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	m, _ := NewFromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	s, err := m.Slice(1, 3, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows() != 2 || s.Cols() != 2 || s.At(0, 0) != 4 || s.At(1, 1) != 8 {
+		t.Fatalf("slice = %v", s)
+	}
+	s.Set(0, 0, 99)
+	if m.At(1, 0) != 4 {
+		t.Fatal("Slice must copy")
+	}
+	if _, err := m.Slice(0, 4, 0, 1); err == nil {
+		t.Fatal("want index error")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Ones(2, 2)
+	b := Ones(2, 2)
+	b.Set(0, 0, 1.0000001)
+	if !a.Equal(b, 1e-3) {
+		t.Fatal("matrices within tolerance must compare equal")
+	}
+	if a.Equal(b, 1e-9) {
+		t.Fatal("matrices beyond tolerance must compare unequal")
+	}
+	if a.Equal(New(1, 1), 1) {
+		t.Fatal("different shapes must compare unequal")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	small := Ones(2, 2)
+	if got := small.String(); got == "" {
+		t.Fatal("small matrix should render elements")
+	}
+	big := Ones(50, 50)
+	if got := big.String(); len(got) > 200 {
+		t.Fatalf("large matrix should render a summary, got %d bytes", len(got))
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range must panic")
+		}
+	}()
+	New(1, 1).At(2, 0)
+}
+
+// Property: (AᵀBᵀ)ᵀ = B·A for random matrices.
+func TestPropertyTransposeProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		r := 2 + local.Intn(6)
+		k := 2 + local.Intn(6)
+		c := 2 + local.Intn(6)
+		a := randomDense(rng, r, k)
+		b := randomDense(rng, k, c)
+		ab, err := a.Mul(b)
+		if err != nil {
+			return false
+		}
+		btat, err := b.T().Mul(a.T())
+		if err != nil {
+			return false
+		}
+		return ab.T().Equal(btat, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ‖A‖²F equals ⟨A, A⟩.
+func TestPropertyNormMatchesSelfDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		a := randomDense(rng, 1+local.Intn(8), 1+local.Intn(8))
+		d, err := a.Dot(a)
+		if err != nil {
+			return false
+		}
+		return almostEqual(d, a.FrobeniusNorm2(), 1e-9*math.Max(1, d))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Hadamard product is commutative.
+func TestPropertyHadamardCommutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		r, c := 1+local.Intn(6), 1+local.Intn(6)
+		a := randomDense(rng, r, c)
+		b := randomDense(rng, r, c)
+		ab, err1 := a.Hadamard(b)
+		ba, err2 := b.Hadamard(a)
+		return err1 == nil && err2 == nil && ab.Equal(ba, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

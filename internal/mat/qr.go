@@ -1,0 +1,105 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QRResult holds the thin QR factorization A = Q·R of an r×c matrix with
+// r ≥ c: Q is r×c with orthonormal columns and R is c×c upper triangular.
+type QRResult struct {
+	Q *Dense
+	R *Dense
+}
+
+// QR computes the thin QR factorization of m via modified Gram–Schmidt with
+// one re-orthogonalization pass ("twice is enough"), which is stable for the
+// well-conditioned, moderate-size matrices this project handles.
+// It returns ErrShape if m has more columns than rows or is empty.
+func QR(m *Dense) (*QRResult, error) {
+	if m.IsEmpty() {
+		return nil, fmt.Errorf("%w: QR of empty matrix", ErrShape)
+	}
+	if m.rows < m.cols {
+		return nil, fmt.Errorf("%w: QR needs rows >= cols, got %dx%d", ErrShape, m.rows, m.cols)
+	}
+	n, c := m.rows, m.cols
+	q := m.Clone()
+	r := New(c, c)
+
+	colDot := func(a, b int) float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += q.data[i*c+a] * q.data[i*c+b]
+		}
+		return s
+	}
+	for j := 0; j < c; j++ {
+		// Two MGS passes against all previous columns.
+		for pass := 0; pass < 2; pass++ {
+			for k := 0; k < j; k++ {
+				proj := colDot(k, j)
+				r.data[k*c+j] += proj
+				for i := 0; i < n; i++ {
+					q.data[i*c+j] -= proj * q.data[i*c+k]
+				}
+			}
+		}
+		norm := math.Sqrt(colDot(j, j))
+		r.data[j*c+j] = norm
+		if norm > 0 {
+			inv := 1 / norm
+			for i := 0; i < n; i++ {
+				q.data[i*c+j] *= inv
+			}
+		}
+	}
+	return &QRResult{Q: q, R: r}, nil
+}
+
+// SolveUpperTriangular solves R·x = b for upper-triangular R by back
+// substitution. It returns ErrShape for non-square R or mismatched b, and
+// an error when R is numerically singular.
+func SolveUpperTriangular(r *Dense, b []float64) ([]float64, error) {
+	if r.rows != r.cols {
+		return nil, fmt.Errorf("%w: triangular solve with %dx%d", ErrShape, r.rows, r.cols)
+	}
+	if len(b) != r.rows {
+		return nil, fmt.Errorf("%w: rhs length %d for %d unknowns", ErrShape, len(b), r.rows)
+	}
+	n := r.rows
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for j := i + 1; j < n; j++ {
+			sum -= r.data[i*n+j] * x[j]
+		}
+		diag := r.data[i*n+i]
+		if math.Abs(diag) < 1e-300 {
+			return nil, fmt.Errorf("mat: singular triangular system at row %d", i)
+		}
+		x[i] = sum / diag
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖A·x − b‖₂ via thin QR.
+func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	if len(b) != a.rows {
+		return nil, fmt.Errorf("%w: rhs length %d for %d rows", ErrShape, len(b), a.rows)
+	}
+	qr, err := QR(a)
+	if err != nil {
+		return nil, err
+	}
+	// qtb = Qᵀ b
+	qtb := make([]float64, a.cols)
+	for j := 0; j < a.cols; j++ {
+		var s float64
+		for i := 0; i < a.rows; i++ {
+			s += qr.Q.data[i*a.cols+j] * b[i]
+		}
+		qtb[j] = s
+	}
+	return SolveUpperTriangular(qr.R, qtb)
+}

@@ -1,0 +1,327 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// orthonormalColumns reports whether m's columns are orthonormal within tol.
+func orthonormalColumns(m *Dense, tol float64) bool {
+	g, err := m.TMul(m)
+	if err != nil {
+		return false
+	}
+	id := Identity(m.Cols())
+	return g.Equal(id, tol)
+}
+
+func TestSVDReconstructsTall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomDense(rng, 12, 6)
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := res.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(a, 1e-9) {
+		t.Fatal("U·S·Vᵀ does not reconstruct A")
+	}
+	if !orthonormalColumns(res.U, 1e-9) {
+		t.Fatal("U columns not orthonormal")
+	}
+	if !orthonormalColumns(res.V, 1e-9) {
+		t.Fatal("V columns not orthonormal")
+	}
+}
+
+func TestSVDReconstructsWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomDense(rng, 5, 11)
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U.Rows() != 5 || res.V.Rows() != 11 || len(res.S) != 5 {
+		t.Fatalf("thin SVD shapes wrong: U %dx%d V %dx%d k=%d",
+			res.U.Rows(), res.U.Cols(), res.V.Rows(), res.V.Cols(), len(res.S))
+	}
+	back, err := res.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(a, 1e-9) {
+		t.Fatal("wide SVD reconstruction failed")
+	}
+}
+
+func TestSVDSingularValuesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomDense(rng, 9, 9)
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.S); i++ {
+		if res.S[i] > res.S[i-1]+1e-12 {
+			t.Fatalf("singular values not sorted: %v", res.S)
+		}
+		if res.S[i] < 0 {
+			t.Fatalf("negative singular value: %v", res.S)
+		}
+	}
+}
+
+func TestSVDKnownDiagonal(t *testing.T) {
+	a := New(3, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 1)
+	a.Set(2, 2, 2)
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i, w := range want {
+		if !almostEqual(res.S[i], w, 1e-10) {
+			t.Fatalf("σ%d = %v, want %v", i, res.S[i], w)
+		}
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Rank-2 matrix: outer-product construction like the paper's Eq. 13
+	// (constant-velocity coordinate matrix has rank 2).
+	n, tt := 10, 14
+	alpha := make([]float64, n)
+	vel := make([]float64, n)
+	rng := rand.New(rand.NewSource(4))
+	for i := range alpha {
+		alpha[i] = rng.Float64() * 1000
+		vel[i] = rng.Float64() * 20
+	}
+	x := New(n, tt)
+	for i := 0; i < n; i++ {
+		for j := 0; j < tt; j++ {
+			x.Set(i, j, alpha[i]+float64(j)*vel[i])
+		}
+	}
+	res, err := SVD(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.EffectiveRank(1e-9); got != 2 {
+		t.Fatalf("constant-velocity matrix rank = %d, want 2 (σ=%v)", got, res.S[:4])
+	}
+}
+
+func TestSVDEmptyMatrix(t *testing.T) {
+	if _, err := SVD(New(0, 0)); err == nil {
+		t.Fatal("want error for empty matrix")
+	}
+}
+
+func TestTruncatedSVD(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomDense(rng, 8, 6)
+	res, err := TruncatedSVD(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U.Cols() != 3 || res.V.Cols() != 3 || len(res.S) != 3 {
+		t.Fatalf("truncated shapes wrong: %d %d %d", res.U.Cols(), res.V.Cols(), len(res.S))
+	}
+	// Eckart–Young: rank-3 truncation error equals sqrt of tail σ².
+	full, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := res.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := a.SubMat(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tail float64
+	for _, s := range full.S[3:] {
+		tail += s * s
+	}
+	if !almostEqual(diff.FrobeniusNorm2(), tail, 1e-6*math.Max(1, tail)) {
+		t.Fatalf("Eckart–Young violated: err²=%v tail=%v", diff.FrobeniusNorm2(), tail)
+	}
+	if _, err := TruncatedSVD(a, 0); err == nil {
+		t.Fatal("want error for rank 0")
+	}
+	over, err := TruncatedSVD(a, 99)
+	if err != nil || len(over.S) != 6 {
+		t.Fatalf("over-truncation should clamp: %v, %v", over, err)
+	}
+}
+
+func TestEnergyCDF(t *testing.T) {
+	res := &SVDResult{S: []float64{6, 3, 1}}
+	cdf := res.EnergyCDF()
+	want := []float64{0.6, 0.9, 1.0}
+	for i := range want {
+		if !almostEqual(cdf[i], want[i], 1e-12) {
+			t.Fatalf("cdf[%d] = %v, want %v", i, cdf[i], want[i])
+		}
+	}
+	if res.RankForEnergy(0.85) != 2 {
+		t.Fatalf("RankForEnergy(0.85) = %d, want 2", res.RankForEnergy(0.85))
+	}
+	if res.RankForEnergy(0.95) != 3 {
+		t.Fatalf("RankForEnergy(0.95) = %d, want 3", res.RankForEnergy(0.95))
+	}
+	zero := &SVDResult{S: []float64{0, 0}}
+	if cdf := zero.EnergyCDF(); cdf[0] != 0 || cdf[1] != 0 {
+		t.Fatal("zero matrix CDF must be all zeros")
+	}
+	if (&SVDResult{S: nil}).EffectiveRank(1e-9) != 0 {
+		t.Fatal("empty spectrum rank must be 0")
+	}
+}
+
+func TestNuclearNorm(t *testing.T) {
+	a := New(2, 2)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 4)
+	nn, err := NuclearNorm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(nn, 7, 1e-10) {
+		t.Fatalf("nuclear norm = %v, want 7", nn)
+	}
+	if _, err := NuclearNorm(New(0, 0)); err == nil {
+		t.Fatal("want error for empty matrix")
+	}
+}
+
+// Property: singular values are invariant under transposition.
+func TestPropertySVDTransposeInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		a := randomDense(rng, 2+local.Intn(7), 2+local.Intn(7))
+		ra, err1 := SVD(a)
+		rt, err2 := SVD(a.T())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range ra.S {
+			if !almostEqual(ra.S[i], rt.S[i], 1e-8*math.Max(1, ra.S[0])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ‖A‖²F = Σσ².
+func TestPropertyFrobeniusEqualsSigmaSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		a := randomDense(rng, 2+local.Intn(6), 2+local.Intn(6))
+		res, err := SVD(a)
+		if err != nil {
+			return false
+		}
+		var ss float64
+		for _, s := range res.S {
+			ss += s * s
+		}
+		return almostEqual(ss, a.FrobeniusNorm2(), 1e-8*math.Max(1, ss))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRFactorization(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomDense(rng, 10, 4)
+	qr, err := QR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orthonormalColumns(qr.Q, 1e-10) {
+		t.Fatal("Q columns not orthonormal")
+	}
+	back, err := qr.Q.Mul(qr.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(a, 1e-10) {
+		t.Fatal("Q·R != A")
+	}
+	// R upper triangular.
+	for i := 1; i < qr.R.Rows(); i++ {
+		for j := 0; j < i; j++ {
+			if math.Abs(qr.R.At(i, j)) > 1e-12 {
+				t.Fatalf("R(%d,%d) = %v not zero", i, j, qr.R.At(i, j))
+			}
+		}
+	}
+	if _, err := QR(New(2, 5)); err == nil {
+		t.Fatal("want error for wide matrix")
+	}
+	if _, err := QR(New(0, 0)); err == nil {
+		t.Fatal("want error for empty matrix")
+	}
+}
+
+func TestLeastSquaresRecoversCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomDense(rng, 30, 3)
+	truth := []float64{2, -1, 0.5}
+	b := make([]float64, 30)
+	for i := 0; i < 30; i++ {
+		for j, c := range truth {
+			b[i] += a.At(i, j) * c
+		}
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, c := range truth {
+		if !almostEqual(x[j], c, 1e-9) {
+			t.Fatalf("x[%d] = %v, want %v", j, x[j], c)
+		}
+	}
+	if _, err := LeastSquares(a, make([]float64, 2)); err == nil {
+		t.Fatal("want shape error for wrong rhs")
+	}
+}
+
+func TestSolveUpperTriangular(t *testing.T) {
+	r, _ := NewFromRows([][]float64{{2, 1}, {0, 4}})
+	x, err := SolveUpperTriangular(r, []float64{5, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[1], 2, 1e-12) || !almostEqual(x[0], 1.5, 1e-12) {
+		t.Fatalf("solution = %v", x)
+	}
+	sing, _ := NewFromRows([][]float64{{1, 1}, {0, 0}})
+	if _, err := SolveUpperTriangular(sing, []float64{1, 1}); err == nil {
+		t.Fatal("want singularity error")
+	}
+	if _, err := SolveUpperTriangular(New(2, 3), []float64{1, 1}); err == nil {
+		t.Fatal("want shape error for non-square")
+	}
+	if _, err := SolveUpperTriangular(Identity(2), []float64{1}); err == nil {
+		t.Fatal("want shape error for rhs")
+	}
+}

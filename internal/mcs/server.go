@@ -1,0 +1,216 @@
+package mcs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// immediatePast returns a deadline that cancels blocking I/O immediately.
+func immediatePast() time.Time { return time.Unix(1, 0) }
+
+// Server exposes a Collector over line-delimited JSON on TCP. Each
+// connection may stream any number of reports; the server replies to every
+// line with "ok\n" or "err <reason>\n", giving participants upload
+// acknowledgement as in a real MCS backend.
+//
+// Start the server with Serve (usually in a goroutine) and stop it with
+// Close, which stops accepting, closes live connections, and waits for the
+// connection handlers to drain.
+type Server struct {
+	collector *Collector
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps a collector.
+func NewServer(c *Collector) *Server {
+	return &Server{
+		collector: c,
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Listen binds the server to addr (e.g. "127.0.0.1:0") and returns the
+// bound address, useful with port 0.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mcs: listen: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		_ = ln.Close()
+		return nil, errors.New("mcs: server closed")
+	}
+	s.listener = ln
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections until Close is called. It returns nil on
+// graceful shutdown.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	ln := s.listener
+	s.mu.Unlock()
+	if ln == nil {
+		return errors.New("mcs: Serve before Listen")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return fmt.Errorf("mcs: accept: %w", err)
+		}
+		if !s.track(conn) {
+			_ = conn.Close()
+			return nil
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener, closes live connections, and waits for
+// handlers to finish. It is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+	_ = conn.Close()
+}
+
+// handle processes one connection's report stream.
+func (s *Server) handle(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		var r Report
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			writeLine(w, "err bad json")
+			continue
+		}
+		if err := s.collector.Ingest(r); err != nil {
+			writeLine(w, "err "+err.Error())
+			continue
+		}
+		writeLine(w, "ok")
+	}
+	// Scanner errors (including closed connections) end the stream; the
+	// participant will reconnect and retry in a real deployment.
+}
+
+func writeLine(w *bufio.Writer, line string) {
+	_, _ = w.WriteString(line)
+	_ = w.WriteByte('\n')
+	_ = w.Flush()
+}
+
+// SendReports connects to a collector server and uploads the reports in
+// order, one JSON line each, waiting for each acknowledgement. It returns
+// the number of reports acknowledged "ok" and the first transport error
+// encountered. Server-side rejections ("err ..." replies) are counted but
+// do not abort the stream: a live fleet keeps reporting even when some
+// uploads are rejected.
+func SendReports(ctx context.Context, addr string, reports []Report) (acked int, err error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return 0, fmt.Errorf("mcs: dial: %w", err)
+	}
+	defer func() {
+		if cerr := conn.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("mcs: close: %w", cerr)
+		}
+	}()
+	// Cancel blocking I/O when the context ends.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = conn.SetDeadline(immediatePast())
+		case <-stop:
+		}
+	}()
+
+	w := bufio.NewWriter(conn)
+	sc := bufio.NewScanner(conn)
+	enc := json.NewEncoder(w)
+	for _, r := range reports {
+		if err := ctx.Err(); err != nil {
+			return acked, err
+		}
+		if err := enc.Encode(r); err != nil {
+			return acked, fmt.Errorf("mcs: encode: %w", err)
+		}
+		if err := w.Flush(); err != nil {
+			return acked, fmt.Errorf("mcs: send: %w", err)
+		}
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return acked, fmt.Errorf("mcs: read ack: %w", err)
+			}
+			return acked, io.ErrUnexpectedEOF
+		}
+		if sc.Text() == "ok" {
+			acked++
+		}
+	}
+	return acked, nil
+}

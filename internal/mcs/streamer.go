@@ -1,0 +1,102 @@
+package mcs
+
+import (
+	"context"
+	"fmt"
+
+	"itscs/internal/mat"
+	"itscs/internal/stat"
+)
+
+// StreamPlan configures a fleet replay.
+type StreamPlan struct {
+	// LossRatio is the probability that a report is dropped in transit —
+	// the transport-level mechanism behind the paper's missing values.
+	LossRatio float64
+	// Seed drives the deterministic loss draw.
+	Seed int64
+	// Participants restricts the replay to the given participant indices;
+	// empty means all.
+	Participants []int
+}
+
+// Validate reports plan errors.
+func (p StreamPlan) Validate() error {
+	if p.LossRatio < 0 || p.LossRatio >= 1 {
+		return fmt.Errorf("mcs: loss ratio %v outside [0,1)", p.LossRatio)
+	}
+	return nil
+}
+
+// Streamer replays coordinate/velocity matrices as a slot-ordered report
+// stream, simulating a fleet of devices uploading in real time.
+type Streamer struct {
+	x, y, vx, vy *mat.Dense
+	plan         StreamPlan
+}
+
+// NewStreamer builds a replay over the given matrices (participants ×
+// slots, all the same shape).
+func NewStreamer(x, y, vx, vy *mat.Dense, plan StreamPlan) (*Streamer, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	n, t := x.Dims()
+	for name, m := range map[string]*mat.Dense{"Y": y, "VX": vx, "VY": vy} {
+		if mr, mc := m.Dims(); mr != n || mc != t {
+			return nil, fmt.Errorf("mcs: %s is %dx%d, want %dx%d", name, mr, mc, n, t)
+		}
+	}
+	for _, p := range plan.Participants {
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("mcs: participant %d outside [0,%d)", p, n)
+		}
+	}
+	return &Streamer{x: x, y: y, vx: vx, vy: vy, plan: plan}, nil
+}
+
+// Reports materializes the full replay: reports ordered by slot then
+// participant, with lossy cells removed.
+func (s *Streamer) Reports() []Report {
+	n, t := s.x.Dims()
+	participants := s.plan.Participants
+	if len(participants) == 0 {
+		participants = make([]int, n)
+		for i := range participants {
+			participants[i] = i
+		}
+	}
+	rng := stat.NewRNG(s.plan.Seed).Child("stream-loss")
+	out := make([]Report, 0, len(participants)*t)
+	for slot := 0; slot < t; slot++ {
+		for _, p := range participants {
+			if s.plan.LossRatio > 0 && rng.Bool(s.plan.LossRatio) {
+				continue
+			}
+			out = append(out, Report{
+				Participant: p,
+				Slot:        slot,
+				X:           s.x.At(p, slot),
+				Y:           s.y.At(p, slot),
+				VX:          s.vx.At(p, slot),
+				VY:          s.vy.At(p, slot),
+			})
+		}
+	}
+	return out
+}
+
+// Stream sends the replay to a channel, honouring context cancellation.
+// It closes out when the replay completes and returns ctx.Err() if
+// cancelled early.
+func (s *Streamer) Stream(ctx context.Context, out chan<- Report) error {
+	defer close(out)
+	for _, r := range s.Reports() {
+		select {
+		case out <- r:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+// Package trace generates synthetic urban taxi-fleet mobility traces that
+// stand in for the SUVnet Shanghai dataset used by the I(TS,CS) paper
+// (the original download link is dead and the data was never redistributed).
+//
+// The generator reproduces the two structural properties the paper's design
+// depends on:
+//
+//  1. Approximate low-rankness of the coordinate matrices: vehicles move
+//     with piecewise-stable velocity along trips, so each row of X and Y is
+//     piecewise linear in time and the matrix concentrates its singular
+//     value energy in a few components (paper §III-C.1, Fig. 4a).
+//  2. Velocity-bounded temporal stability: consecutive positions differ by
+//     at most speed × τ, and the reported instantaneous velocities predict
+//     most of that difference (paper Eq. 21–22, Fig. 4b).
+//
+// Vehicles follow trip-based Manhattan routing over an implicit street
+// grid: pick a destination, drive axis-aligned legs at a speed regime drawn
+// from the trip length (local / arterial / highway), idle briefly, repeat.
+// Positions carry GPS noise and velocities carry sensor noise, so the
+// matrices are realistically "approximately" low-rank rather than exactly.
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"itscs/internal/geo"
+	"itscs/internal/mat"
+	"itscs/internal/stat"
+)
+
+// Config controls fleet generation. The zero value is not usable; start
+// from DefaultConfig (paper-scale: 158 participants × 240 slots of 30 s).
+type Config struct {
+	// Participants is the number of vehicles (rows of the matrices).
+	Participants int
+	// Slots is the number of time slots (columns of the matrices).
+	Slots int
+	// SlotDuration is the sampling period τ (paper: 30 s).
+	SlotDuration time.Duration
+	// Region is the study area; vehicles never leave it.
+	Region geo.Region
+	// Seed makes generation deterministic.
+	Seed int64
+
+	// CoreFraction confines trip endpoints to the central fraction of the
+	// region (taxis concentrate in the urban core, as in SUVnet).
+	CoreFraction float64
+	// MinTripMeters and MaxTripMeters bound trip lengths.
+	MinTripMeters float64
+	MaxTripMeters float64
+	// IdleMaxSlots is the maximum pause (in slots) between trips.
+	IdleMaxSlots int
+	// GPSNoiseMeters is the standard deviation of position noise.
+	GPSNoiseMeters float64
+	// VelocityNoiseMS is the standard deviation of velocity sensor noise.
+	VelocityNoiseMS float64
+	// SpeedJitter is the per-substep multiplicative speed perturbation.
+	SpeedJitter float64
+	// SubstepsPerSlot is the simulation resolution within one slot.
+	SubstepsPerSlot int
+}
+
+// DefaultConfig returns the paper-scale configuration: 158 taxis observed
+// for 240 slots of 30 seconds (2 hours) in a Shanghai-like region.
+func DefaultConfig() Config {
+	return Config{
+		Participants:    158,
+		Slots:           240,
+		SlotDuration:    30 * time.Second,
+		Region:          geo.ShanghaiLike(),
+		Seed:            1,
+		CoreFraction:    0.35,
+		MinTripMeters:   800,
+		MaxTripMeters:   6_000,
+		IdleMaxSlots:    20,
+		GPSNoiseMeters:  6,
+		VelocityNoiseMS: 0.6,
+		SpeedJitter:     0.02,
+		SubstepsPerSlot: 6,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Participants <= 0:
+		return fmt.Errorf("trace: participants must be positive, got %d", c.Participants)
+	case c.Slots <= 0:
+		return fmt.Errorf("trace: slots must be positive, got %d", c.Slots)
+	case c.SlotDuration <= 0:
+		return fmt.Errorf("trace: slot duration must be positive, got %v", c.SlotDuration)
+	case c.CoreFraction <= 0 || c.CoreFraction > 1:
+		return fmt.Errorf("trace: core fraction %v outside (0,1]", c.CoreFraction)
+	case c.MinTripMeters <= 0 || c.MaxTripMeters < c.MinTripMeters:
+		return fmt.Errorf("trace: bad trip bounds [%v,%v]", c.MinTripMeters, c.MaxTripMeters)
+	case c.IdleMaxSlots < 0:
+		return fmt.Errorf("trace: negative idle bound %d", c.IdleMaxSlots)
+	case c.GPSNoiseMeters < 0 || c.VelocityNoiseMS < 0 || c.SpeedJitter < 0:
+		return fmt.Errorf("trace: negative noise parameter")
+	case c.SubstepsPerSlot <= 0:
+		return fmt.Errorf("trace: substeps must be positive, got %d", c.SubstepsPerSlot)
+	}
+	return c.Region.Validate()
+}
+
+// Fleet holds the generated ground-truth matrices.
+//
+// X and Y are the coordinate matrices (meters in the region frame,
+// participants × slots). VX and VY are the instantaneous velocity
+// components (m/s) reported at each slot boundary, as collected by the
+// vehicles' own sensors.
+type Fleet struct {
+	Config Config
+	X, Y   *mat.Dense
+	VX, VY *mat.Dense
+}
+
+// Generate simulates the fleet described by cfg.
+func Generate(cfg Config) (*Fleet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n, t := cfg.Participants, cfg.Slots
+	fleet := &Fleet{
+		Config: cfg,
+		X:      mat.New(n, t),
+		Y:      mat.New(n, t),
+		VX:     mat.New(n, t),
+		VY:     mat.New(n, t),
+	}
+	root := stat.NewRNG(cfg.Seed)
+	for i := 0; i < n; i++ {
+		rng := root.Child(fmt.Sprintf("vehicle-%d", i))
+		simulateVehicle(cfg, rng, i, fleet)
+	}
+	return fleet, nil
+}
+
+// vehicle is the per-simulation mutable state of one taxi.
+type vehicle struct {
+	pos       geo.Point
+	waypoints []geo.Point
+	speed     float64 // current cruise speed, m/s
+	idleLeft  float64 // remaining idle time, seconds
+	heading   geo.Vec // unit direction of travel
+}
+
+// simulateVehicle drives one vehicle through all slots, writing its row of
+// each fleet matrix.
+func simulateVehicle(cfg Config, rng *stat.RNG, row int, fleet *Fleet) {
+	core := coreBounds(cfg)
+	v := &vehicle{pos: randomPointIn(rng, core)}
+	planTrip(cfg, rng, v, core)
+
+	dt := cfg.SlotDuration.Seconds() / float64(cfg.SubstepsPerSlot)
+	for j := 0; j < cfg.Slots; j++ {
+		for s := 0; s < cfg.SubstepsPerSlot; s++ {
+			advance(cfg, rng, v, core, dt)
+		}
+		recordSlot(cfg, rng, v, row, j, fleet)
+	}
+}
+
+// coreBounds returns the sub-rectangle where trips start and end.
+func coreBounds(cfg Config) geo.Region {
+	w := cfg.Region.WidthMeters * cfg.CoreFraction
+	h := cfg.Region.HeightMeters * cfg.CoreFraction
+	return geo.Region{
+		OriginLat:    cfg.Region.OriginLat,
+		OriginLon:    cfg.Region.OriginLon,
+		WidthMeters:  w,
+		HeightMeters: h,
+	}
+}
+
+// randomPointIn draws a uniform point inside the core rectangle, translated
+// so the core sits at the center of the full region.
+func randomPointIn(rng *stat.RNG, core geo.Region) geo.Point {
+	return geo.Point{
+		X: rng.Uniform(0, core.WidthMeters),
+		Y: rng.Uniform(0, core.HeightMeters),
+	}
+}
+
+// coreToRegion translates a core-frame point into the full region frame.
+func coreToRegion(cfg Config, core geo.Region, p geo.Point) geo.Point {
+	offX := (cfg.Region.WidthMeters - core.WidthMeters) / 2
+	offY := (cfg.Region.HeightMeters - core.HeightMeters) / 2
+	return geo.Point{X: p.X + offX, Y: p.Y + offY}
+}
+
+// planTrip assigns a new destination, Manhattan waypoints, and a cruise
+// speed regime drawn from the trip length.
+func planTrip(cfg Config, rng *stat.RNG, v *vehicle, core geo.Region) {
+	var dest geo.Point
+	for attempt := 0; attempt < 32; attempt++ {
+		dest = randomPointIn(rng, core)
+		d := v.pos.DistanceTo(dest)
+		if d >= cfg.MinTripMeters && d <= cfg.MaxTripMeters {
+			break
+		}
+	}
+	// Manhattan routing: randomly pick X-first or Y-first corner.
+	var corner geo.Point
+	if rng.Bool(0.5) {
+		corner = geo.Point{X: dest.X, Y: v.pos.Y}
+	} else {
+		corner = geo.Point{X: v.pos.X, Y: dest.Y}
+	}
+	v.waypoints = v.waypoints[:0]
+	if corner.DistanceTo(v.pos) > 1 {
+		v.waypoints = append(v.waypoints, corner)
+	}
+	v.waypoints = append(v.waypoints, dest)
+	v.speed = cruiseSpeed(rng, v.pos.DistanceTo(dest))
+	v.idleLeft = 0
+}
+
+// cruiseSpeed draws a speed regime from the trip length: short hops stay on
+// congested local roads, long hauls reach arterials and elevated roads.
+// The ranges model dense urban traffic (the SUVnet fleet operated in 2007
+// Shanghai, where taxi speeds rarely exceeded 60-70 km/h).
+func cruiseSpeed(rng *stat.RNG, tripMeters float64) float64 {
+	switch {
+	case tripMeters < 1_500: // congested local roads
+		return geo.KmH(rng.Uniform(8, 25))
+	case tripMeters < 4_000: // local roads and arterials
+		return geo.KmH(rng.Uniform(18, 45))
+	default: // arterials and elevated roads
+		return geo.KmH(rng.Uniform(30, 70))
+	}
+}
+
+// advance moves the vehicle for dt seconds of simulated time.
+func advance(cfg Config, rng *stat.RNG, v *vehicle, core geo.Region, dt float64) {
+	if v.idleLeft > 0 {
+		v.idleLeft -= dt
+		v.heading = geo.Vec{}
+		if v.idleLeft <= 0 {
+			planTrip(cfg, rng, v, core)
+		}
+		return
+	}
+	if len(v.waypoints) == 0 {
+		beginIdleOrTrip(cfg, rng, v, core)
+		return
+	}
+	// Perturb the cruise speed slightly (traffic), then step toward the
+	// current waypoint, consuming waypoints as they are reached.
+	speed := v.speed * (1 + cfg.SpeedJitter*rng.NormFloat64())
+	if speed < 0.5 {
+		speed = 0.5
+	}
+	remaining := speed * dt
+	for remaining > 0 && len(v.waypoints) > 0 {
+		target := v.waypoints[0]
+		d := v.pos.DistanceTo(target)
+		if d <= remaining {
+			v.pos = target
+			remaining -= d
+			v.waypoints = v.waypoints[1:]
+			continue
+		}
+		ux := (target.X - v.pos.X) / d
+		uy := (target.Y - v.pos.Y) / d
+		v.pos = v.pos.Add(ux*remaining, uy*remaining)
+		v.heading = geo.Vec{VX: ux * speed, VY: uy * speed}
+		remaining = 0
+	}
+	if len(v.waypoints) == 0 {
+		beginIdleOrTrip(cfg, rng, v, core)
+	}
+}
+
+// beginIdleOrTrip decides what a vehicle does after completing a trip.
+func beginIdleOrTrip(cfg Config, rng *stat.RNG, v *vehicle, core geo.Region) {
+	if cfg.IdleMaxSlots > 0 && rng.Bool(0.5) {
+		slots := 1 + rng.Intn(cfg.IdleMaxSlots)
+		v.idleLeft = float64(slots) * cfg.SlotDuration.Seconds()
+		v.heading = geo.Vec{}
+		return
+	}
+	planTrip(cfg, rng, v, core)
+}
+
+// recordSlot writes the observed position and velocity for slot j.
+func recordSlot(cfg Config, rng *stat.RNG, v *vehicle, row, j int, fleet *Fleet) {
+	core := coreBounds(cfg)
+	p := coreToRegion(cfg, core, v.pos)
+	fleet.X.Set(row, j, p.X+cfg.GPSNoiseMeters*rng.NormFloat64())
+	fleet.Y.Set(row, j, p.Y+cfg.GPSNoiseMeters*rng.NormFloat64())
+	fleet.VX.Set(row, j, v.heading.VX+cfg.VelocityNoiseMS*rng.NormFloat64())
+	fleet.VY.Set(row, j, v.heading.VY+cfg.VelocityNoiseMS*rng.NormFloat64())
+}

@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"itscs/internal/geo"
+	"itscs/internal/mat"
+	"itscs/internal/motion"
+	"itscs/internal/stat"
+)
+
+// smallConfig keeps unit tests fast while preserving generator behaviour.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Participants = 12
+	cfg.Slots = 60
+	return cfg
+}
+
+func TestGenerateShapes(t *testing.T) {
+	fleet, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range map[string]*mat.Dense{"X": fleet.X, "Y": fleet.Y, "VX": fleet.VX, "VY": fleet.VY} {
+		if m.Rows() != 12 || m.Cols() != 60 {
+			t.Fatalf("%s dims = %dx%d", name, m.Rows(), m.Cols())
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.X.Equal(b.X, 0) || !a.Y.Equal(b.Y, 0) || !a.VX.Equal(b.VX, 0) {
+		t.Fatal("same seed must reproduce the fleet exactly")
+	}
+	cfg := smallConfig()
+	cfg.Seed = 999
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.X.Equal(c.X, 1e-6) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestPositionsInsideRegion(t *testing.T) {
+	fleet, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := fleet.Config.Region
+	slack := 5 * fleet.Config.GPSNoiseMeters
+	for i := 0; i < fleet.X.Rows(); i++ {
+		for j := 0; j < fleet.X.Cols(); j++ {
+			x, y := fleet.X.At(i, j), fleet.Y.At(i, j)
+			if x < -slack || x > r.WidthMeters+slack || y < -slack || y > r.HeightMeters+slack {
+				t.Fatalf("position (%v,%v) outside region at (%d,%d)", x, y, i, j)
+			}
+		}
+	}
+}
+
+func TestSpeedsArePhysical(t *testing.T) {
+	fleet, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau := fleet.Config.SlotDuration.Seconds()
+	// Highway ceiling is 110 km/h; allow jitter headroom.
+	maxStep := geo.KmH(140) * tau
+	for i := 0; i < fleet.X.Rows(); i++ {
+		for j := 1; j < fleet.X.Cols(); j++ {
+			dx := fleet.X.At(i, j) - fleet.X.At(i, j-1)
+			dy := fleet.Y.At(i, j) - fleet.Y.At(i, j-1)
+			if step := math.Hypot(dx, dy); step > maxStep {
+				t.Fatalf("vehicle %d jumped %.0f m in one slot (max %.0f)", i, step, maxStep)
+			}
+		}
+	}
+	for i := 0; i < fleet.VX.Rows(); i++ {
+		for j := 0; j < fleet.VX.Cols(); j++ {
+			sp := math.Hypot(fleet.VX.At(i, j), fleet.VY.At(i, j))
+			if sp > geo.KmH(150) {
+				t.Fatalf("reported speed %.1f m/s not physical", sp)
+			}
+		}
+	}
+}
+
+func TestVehiclesActuallyMove(t *testing.T) {
+	fleet, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	moving := 0
+	for i := 0; i < fleet.X.Rows(); i++ {
+		first := geo.Point{X: fleet.X.At(i, 0), Y: fleet.Y.At(i, 0)}
+		var far bool
+		for j := 1; j < fleet.X.Cols(); j++ {
+			p := geo.Point{X: fleet.X.At(i, j), Y: fleet.Y.At(i, j)}
+			if first.DistanceTo(p) > 500 {
+				far = true
+				break
+			}
+		}
+		if far {
+			moving++
+		}
+	}
+	if moving < fleet.X.Rows()/2 {
+		t.Fatalf("only %d/%d vehicles moved >500 m in 30 min", moving, fleet.X.Rows())
+	}
+}
+
+func TestLowRankProperty(t *testing.T) {
+	// The paper (Fig. 4a) reports that ~9-11% of singular values capture
+	// 95% of the energy for the real trace. Our synthetic fleet must show
+	// comparable concentration — require 95% energy within 30% of the
+	// spectrum (the property CS reconstruction depends on).
+	cfg := DefaultConfig()
+	cfg.Participants = 60
+	cfg.Slots = 120
+	fleet, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range map[string]*mat.Dense{"X": fleet.X, "Y": fleet.Y} {
+		res, err := mat.SVD(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := res.RankForEnergy(0.95)
+		frac := float64(k) / float64(len(res.S))
+		if frac > 0.30 {
+			t.Fatalf("%s: 95%% energy needs %.0f%% of spectrum; trace is not low-rank enough", name, frac*100)
+		}
+	}
+}
+
+func TestVelocityExplainsMotion(t *testing.T) {
+	// Fig. 4(b): the velocity-improved temporal stability must be
+	// substantially tighter than the raw one.
+	fleet, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := motion.Stability(fleet.X)
+	avg := motion.AverageVelocity(fleet.VX)
+	improved, err := motion.VelocityStability(fleet.X, avg, fleet.Config.SlotDuration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q95raw, err := stat.Quantile(raw, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q95imp, err := stat.Quantile(improved, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q95imp >= q95raw {
+		t.Fatalf("velocity must tighten the 95th percentile: raw %.0f m vs improved %.0f m", q95raw, q95imp)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	base := DefaultConfig()
+	mutate := []func(*Config){
+		func(c *Config) { c.Participants = 0 },
+		func(c *Config) { c.Slots = -1 },
+		func(c *Config) { c.SlotDuration = 0 },
+		func(c *Config) { c.CoreFraction = 0 },
+		func(c *Config) { c.CoreFraction = 1.5 },
+		func(c *Config) { c.MinTripMeters = 0 },
+		func(c *Config) { c.MaxTripMeters = c.MinTripMeters - 1 },
+		func(c *Config) { c.IdleMaxSlots = -1 },
+		func(c *Config) { c.GPSNoiseMeters = -1 },
+		func(c *Config) { c.SubstepsPerSlot = 0 },
+		func(c *Config) { c.Region.WidthMeters = 0 },
+	}
+	for i, f := range mutate {
+		cfg := base
+		f(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("mutation %d should fail validation", i)
+		}
+		if _, err := Generate(cfg); err == nil {
+			t.Fatalf("mutation %d should fail Generate", i)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("default config must validate: %v", err)
+	}
+}
+
+func TestIdlePeriodsExist(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Slots = 120
+	fleet, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some consecutive positions should be nearly identical (idling taxis).
+	idle := 0
+	for i := 0; i < fleet.X.Rows(); i++ {
+		for j := 1; j < fleet.X.Cols(); j++ {
+			dx := fleet.X.At(i, j) - fleet.X.At(i, j-1)
+			dy := fleet.Y.At(i, j) - fleet.Y.At(i, j-1)
+			if math.Hypot(dx, dy) < 5*cfg.GPSNoiseMeters {
+				idle++
+			}
+		}
+	}
+	if idle == 0 {
+		t.Fatal("expected at least some idle slots in a 1-hour window")
+	}
+}
+
+func TestDefaultConfigIsPaperScale(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Participants != 158 || cfg.Slots != 240 || cfg.SlotDuration != 30*time.Second {
+		t.Fatalf("default config diverged from the paper: %+v", cfg)
+	}
+}

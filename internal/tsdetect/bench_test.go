@@ -1,0 +1,114 @@
+package tsdetect
+
+import (
+	"testing"
+
+	"itscs/internal/corrupt"
+	"itscs/internal/metrics"
+	"itscs/internal/motion"
+	"itscs/internal/trace"
+)
+
+// benchWorkload builds a corrupted fleet for detection benchmarks.
+func benchWorkload(b *testing.B, alpha, beta float64) (*trace.Fleet, *corrupt.Result) {
+	b.Helper()
+	cfg := trace.DefaultConfig()
+	cfg.Participants = 60
+	cfg.Slots = 120
+	fleet, err := trace.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := corrupt.DefaultPlan()
+	plan.MissingRatio = alpha
+	plan.FaultyRatio = beta
+	res, err := corrupt.Apply(plan, fleet.X, fleet.Y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fleet, res
+}
+
+// BenchmarkDetectFirstPass measures raw detector throughput.
+func BenchmarkDetectFirstPass(b *testing.B) {
+	fleet, res := benchWorkload(b, 0.2, 0.2)
+	avgV := motion.AverageVelocity(fleet.VX)
+	d := res.Existence.Map(func(float64) float64 { return 1 })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Detect(res.SX, nil, avgV, d, res.Existence, true, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeltaAdaptivity is the DESIGN.md ablation: the velocity-adaptive
+// tolerance (Eq. 12) against fixed tolerances at the two speed regimes it
+// interpolates between. The adaptive detector should approach the recall
+// of the tight threshold without the false positives the tight threshold
+// produces on fast vehicles.
+func BenchmarkDeltaAdaptivity(b *testing.B) {
+	fleet, res := benchWorkload(b, 0, 0.2)
+	avgVX := motion.AverageVelocity(fleet.VX)
+	avgVY := motion.AverageVelocity(fleet.VY)
+	ones := res.Existence.Map(func(float64) float64 { return 1 })
+
+	run := func(opt Options) (precision, recall float64) {
+		dx, err := Detect(res.SX, nil, avgVX, ones, res.Existence, true, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dy, err := Detect(res.SY, nil, avgVY, ones, res.Existence, true, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := Union(dx, dy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conf, err := metrics.Compare(d, res.Faulty, res.Existence)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return conf.Precision(), conf.Recall()
+	}
+
+	for i := 0; i < b.N; i++ {
+		adaptive := DefaultOptions()
+		pA, rA := run(adaptive)
+
+		// Fixed tolerance: disable the velocity term by flooring δ at the
+		// given level with ξ→0 (the floor becomes the fixed threshold).
+		tight := DefaultOptions()
+		tight.Xi = 1e-9
+		tight.MinToleranceMeters = 170 // local-road scale (paper §III-B)
+		pT, rT := run(tight)
+
+		loose := DefaultOptions()
+		loose.Xi = 1e-9
+		loose.MinToleranceMeters = 850 // highway scale
+		pL, rL := run(loose)
+
+		if i == 0 {
+			b.ReportMetric(pA, "P_adaptive")
+			b.ReportMetric(rA, "R_adaptive")
+			b.ReportMetric(pT, "P_fixed170")
+			b.ReportMetric(rT, "R_fixed170")
+			b.ReportMetric(pL, "P_fixed850")
+			b.ReportMetric(rL, "R_fixed850")
+		}
+	}
+}
+
+// BenchmarkTMM measures the baseline's throughput for comparison.
+func BenchmarkTMM(b *testing.B) {
+	_, res := benchWorkload(b, 0.2, 0.2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TMM(res.SX, res.Existence, DefaultTMMOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package tsdetect
+
+import (
+	"testing"
+	"time"
+
+	"itscs/internal/mat"
+	"itscs/internal/motion"
+)
+
+// constantRowFixture builds a single-participant series at a fixed position
+// with one large spike, plus matching all-ones D/E and zero velocity.
+func constantRowFixture(t int, spikeAt int, spike float64) (s, d, e, v *mat.Dense) {
+	s = mat.Filled(1, t, 1000)
+	if spikeAt >= 0 {
+		s.Set(0, spikeAt, 1000+spike)
+	}
+	d = mat.Ones(1, t)
+	e = mat.Ones(1, t)
+	v = mat.New(1, t)
+	return s, d, e, v
+}
+
+func TestDetectClearsNormalPoints(t *testing.T) {
+	s, d, e, v := constantRowFixture(20, -1, 0)
+	out, err := Detect(s, nil, motion.AverageVelocity(v), d, e, true, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Sum(); got != 0 {
+		t.Fatalf("all points are normal; %v still flagged", got)
+	}
+}
+
+func TestDetectFlagsSpike(t *testing.T) {
+	s, d, e, v := constantRowFixture(20, 10, 5000)
+	out, err := Detect(s, nil, motion.AverageVelocity(v), d, e, true, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 10) != 1 {
+		t.Fatal("5 km spike must stay flagged")
+	}
+	if out.Sum() != 1 {
+		t.Fatalf("only the spike should remain flagged, got %v flags", out.Sum())
+	}
+}
+
+func TestDetectOnlyClearsNeverSets(t *testing.T) {
+	// A zero D on input must stay zero even for outliers: TS_Detect only
+	// clears flags (Algorithm 1); Check() is the stage that raises them.
+	s, _, e, v := constantRowFixture(20, 10, 5000)
+	d := mat.New(1, 20) // all clear
+	out, err := Detect(s, nil, motion.AverageVelocity(v), d, e, true, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sum() != 0 {
+		t.Fatal("Detect must never raise flags")
+	}
+}
+
+func TestDetectDynamicToleranceHighwayVsLocal(t *testing.T) {
+	// The §III-B motivating example: a 300 m deviation from the window
+	// median is normal at highway speed but faulty on a local road.
+	const slots = 15
+	opt := DefaultOptions()
+	tau := opt.Tau.Seconds()
+
+	makeSeries := func(speed float64) (*mat.Dense, *mat.Dense) {
+		s := mat.New(1, slots)
+		v := mat.New(1, slots)
+		for j := 0; j < slots; j++ {
+			s.Set(0, j, speed*tau*float64(j))
+			v.Set(0, j, speed)
+		}
+		return s, v
+	}
+
+	// Highway: 28 m/s (~100 km/h). A +300 m bump is within one slot's travel.
+	sh, vh := makeSeries(28)
+	sh.Add(0, 7, 300)
+	d := mat.Ones(1, slots)
+	e := mat.Ones(1, slots)
+	outH, err := Detect(sh, nil, motion.AverageVelocity(vh), d, e, true, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outH.At(0, 7) != 0 {
+		t.Fatal("300 m deviation at highway speed should pass")
+	}
+
+	// Congested local road: 0.3 m/s crawl (window tolerance ≈ 176 m for
+	// the default 13-slot window). The same +300 m bump must be flagged.
+	sl, vl := makeSeries(0.3)
+	sl.Add(0, 7, 300)
+	outL, err := Detect(sl, nil, motion.AverageVelocity(vl), d, e, true, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outL.At(0, 7) != 1 {
+		t.Fatal("300 m deviation at crawl speed should be flagged")
+	}
+}
+
+func TestDetectSkipsMissingOnFirstPass(t *testing.T) {
+	s, d, e, v := constantRowFixture(20, -1, 0)
+	e.Set(0, 5, 0)
+	s.Set(0, 5, 0) // missing cells hold zeros in the sensory matrix
+	out, err := Detect(s, nil, motion.AverageVelocity(v), d, e, true, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The missing cell is never examined, so its D entry stays 1...
+	if out.At(0, 5) != 1 {
+		t.Fatal("missing cell must not be cleared on the first pass")
+	}
+	// ...and its zero value must not poison neighbours' medians.
+	if out.At(0, 4) != 0 || out.At(0, 6) != 0 {
+		t.Fatal("neighbours of a missing cell were misjudged")
+	}
+}
+
+func TestDetectUsesReconstructionOnLaterPasses(t *testing.T) {
+	s, d, e, v := constantRowFixture(20, -1, 0)
+	e.Set(0, 5, 0)
+	s.Set(0, 5, 0)
+	sHat := mat.Filled(1, 20, 1000) // reconstruction fills the gap
+	out, err := Detect(s, sHat, motion.AverageVelocity(v), d, e, false, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the reconstructed value in place the cell now tests as normal.
+	if out.At(0, 5) != 0 {
+		t.Fatal("reconstructed missing cell should clear on later passes")
+	}
+}
+
+func TestDetectInputsNotMutated(t *testing.T) {
+	s, d, e, v := constantRowFixture(20, 10, 5000)
+	e.Set(0, 3, 0)
+	sCopy, dCopy, eCopy := s.Clone(), d.Clone(), e.Clone()
+	sHat := mat.Filled(1, 20, 1000)
+	if _, err := Detect(s, sHat, motion.AverageVelocity(v), d, e, false, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(sCopy, 0) || !d.Equal(dCopy, 0) || !e.Equal(eCopy, 0) {
+		t.Fatal("Detect must not mutate its inputs")
+	}
+}
+
+func TestDetectValidation(t *testing.T) {
+	s, d, e, v := constantRowFixture(10, -1, 0)
+	avg := motion.AverageVelocity(v)
+	bad := []Options{
+		{Window: 2, Xi: 1, Tau: time.Second},
+		{Window: 4, Xi: 1, Tau: time.Second},
+		{Window: 5, Xi: 0, Tau: time.Second},
+		{Window: 5, Xi: 1, MinToleranceMeters: -1, Tau: time.Second},
+		{Window: 5, Xi: 1, Tau: 0},
+		{Window: 99, Xi: 1, Tau: time.Second}, // window larger than series
+	}
+	for i, opt := range bad {
+		if _, err := Detect(s, nil, avg, d, e, true, opt); err == nil {
+			t.Fatalf("options %d should be rejected", i)
+		}
+	}
+	if _, err := Detect(s, nil, mat.New(2, 2), d, e, true, DefaultOptions()); err == nil {
+		t.Fatal("mismatched V̄ should be rejected")
+	}
+	if _, err := Detect(s, nil, avg, mat.New(2, 2), e, true, DefaultOptions()); err == nil {
+		t.Fatal("mismatched D should be rejected")
+	}
+	if _, err := Detect(s, nil, avg, d, mat.New(2, 2), true, DefaultOptions()); err == nil {
+		t.Fatal("mismatched E should be rejected")
+	}
+	if _, err := Detect(s, nil, avg, d, e, false, DefaultOptions()); err == nil {
+		t.Fatal("nil reconstruction on a non-first pass should be rejected")
+	}
+}
+
+func TestWindowStartClamping(t *testing.T) {
+	cases := []struct{ j, w, t, want int }{
+		{0, 5, 20, 0},   // left edge
+		{1, 5, 20, 0},   // still clamped left
+		{10, 5, 20, 8},  // centered
+		{19, 5, 20, 15}, // right edge
+	}
+	for _, c := range cases {
+		if got := windowStart(c.j, c.w, c.t); got != c.want {
+			t.Fatalf("windowStart(%d,%d,%d) = %d, want %d", c.j, c.w, c.t, got, c.want)
+		}
+	}
+}
+
+func TestToleranceFloor(t *testing.T) {
+	opt := DefaultOptions()
+	zeroV := make([]float64, 9)
+	delta := tolerance(zeroV, 0, 9, 30, opt)
+	if delta != opt.MinToleranceMeters {
+		t.Fatalf("idle tolerance = %v, want floor %v", delta, opt.MinToleranceMeters)
+	}
+}
+
+func TestToleranceGrowsWithSpeed(t *testing.T) {
+	opt := DefaultOptions()
+	slow := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1}
+	fast := []float64{20, 20, 20, 20, 20, 20, 20, 20, 20}
+	ds := tolerance(slow, 0, 9, 30, opt)
+	df := tolerance(fast, 0, 9, 30, opt)
+	if df <= ds {
+		t.Fatalf("tolerance must grow with speed: slow %v fast %v", ds, df)
+	}
+	// Fast: ξ·max prefix = 1.5 · 20·30·9 = 8100 m.
+	if df != 1.5*20*30*9 {
+		t.Fatalf("fast tolerance = %v, want %v", df, 1.5*20*30*9.0)
+	}
+}
+
+func TestToleranceUsesMaxAbsPrefix(t *testing.T) {
+	opt := DefaultOptions()
+	opt.MinToleranceMeters = 0
+	// Velocity reverses sign: the max |prefix| is hit mid-window.
+	v := []float64{10, 10, -10, -10, -10, -10, -10, -10, -10}
+	delta := tolerance(v, 0, 9, 30, opt)
+	// Prefix sums ·τ: 300, 600, 300, 0, -300, ..., -1500 → max |·| = 1500.
+	if delta != 1.5*1500 {
+		t.Fatalf("tolerance = %v, want %v", delta, 1.5*1500.0)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a, _ := mat.NewFromRows([][]float64{{1, 0, 0, 1}})
+	b, _ := mat.NewFromRows([][]float64{{0, 0, 1, 1}})
+	u, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0, 1, 1}
+	for j, w := range want {
+		if u.At(0, j) != w {
+			t.Fatalf("union[%d] = %v, want %v", j, u.At(0, j), w)
+		}
+	}
+	if _, err := Union(a, mat.New(2, 2)); err == nil {
+		t.Fatal("shape mismatch should be rejected")
+	}
+}
+
+func TestTMMFlagsLargeDeviation(t *testing.T) {
+	s, _, e, _ := constantRowFixture(20, 10, 5000)
+	out, err := TMM(s, e, DefaultTMMOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 10) != 1 {
+		t.Fatal("TMM must flag a 5 km spike")
+	}
+	if out.Sum() != 1 {
+		t.Fatalf("TMM flagged %v points, want 1", out.Sum())
+	}
+}
+
+func TestTMMFixedThresholdMissesHighwayScaleFaults(t *testing.T) {
+	// The failure mode the paper highlights: with a fixed threshold sized
+	// for highways, a 500 m fault on a parked vehicle goes undetected.
+	s, _, e, _ := constantRowFixture(20, 10, 500)
+	out, err := TMM(s, e, DefaultTMMOptions()) // 800 m fixed range
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 10) != 0 {
+		t.Fatal("expected TMM to miss the sub-threshold fault")
+	}
+}
+
+func TestTMMSkipsMissing(t *testing.T) {
+	s, _, e, _ := constantRowFixture(20, -1, 0)
+	e.Set(0, 5, 0)
+	s.Set(0, 5, 0)
+	out, err := TMM(s, e, DefaultTMMOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sum() != 0 {
+		t.Fatal("missing zeros must not be flagged or poison medians")
+	}
+}
+
+func TestTMMValidation(t *testing.T) {
+	s := mat.New(1, 10)
+	e := mat.Ones(1, 10)
+	if _, err := TMM(s, e, TMMOptions{Window: 4, ThresholdMeters: 1}); err == nil {
+		t.Fatal("even window should be rejected")
+	}
+	if _, err := TMM(s, e, TMMOptions{Window: 5, ThresholdMeters: 0}); err == nil {
+		t.Fatal("zero threshold should be rejected")
+	}
+	if _, err := TMM(s, mat.New(2, 2), DefaultTMMOptions()); err == nil {
+		t.Fatal("shape mismatch should be rejected")
+	}
+	if _, err := TMM(s, e, TMMOptions{Window: 99, ThresholdMeters: 1}); err == nil {
+		t.Fatal("oversized window should be rejected")
+	}
+}

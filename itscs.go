@@ -1,0 +1,309 @@
+package itscs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"itscs/internal/core"
+	"itscs/internal/csrecon"
+	"itscs/internal/mat"
+)
+
+// Variant selects the reconstruction objective used in the CORRECT phase.
+type Variant int
+
+const (
+	// VariantFull is the complete I(TS,CS) objective with the
+	// velocity-improved temporal-stability term (paper Eq. 23).
+	VariantFull Variant = iota + 1
+	// VariantNoVelocity keeps the temporal-stability term but drops the
+	// velocity target ("I(TS,CS) without V").
+	VariantNoVelocity
+	// VariantPlainCS uses plain regularized matrix completion
+	// ("I(TS,CS) without VT").
+	VariantPlainCS
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case VariantFull:
+		return "I(TS,CS)"
+	case VariantNoVelocity:
+		return "I(TS,CS) without V"
+	case VariantPlainCS:
+		return "I(TS,CS) without VT"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+func (v Variant) toInternal() (csrecon.Variant, error) {
+	switch v {
+	case VariantFull:
+		return csrecon.VariantVelocityTemporal, nil
+	case VariantNoVelocity:
+		return csrecon.VariantTemporal, nil
+	case VariantPlainCS:
+		return csrecon.VariantBasic, nil
+	default:
+		return 0, fmt.Errorf("itscs: unknown variant %d", int(v))
+	}
+}
+
+// Dataset is the input to the framework: one row per participant, one
+// column per time slot. A NaN in X (and Y) marks a missing observation;
+// both coordinates of a slot are treated as missing when either is NaN,
+// matching the paper's model where x and y are lost together.
+//
+// VX and VY are the participants' reported instantaneous velocity
+// components in meters/second. They drive the detector's adaptive
+// tolerance and the full variant's reconstruction target. Velocities may
+// themselves be noisy or partially faulty — the framework is robust to
+// that (paper §IV-D).
+type Dataset struct {
+	X, Y   [][]float64
+	VX, VY [][]float64
+}
+
+// Result reports the framework's findings.
+type Result struct {
+	// Faulty marks the observed cells judged faulty.
+	Faulty [][]bool
+	// Missing marks the cells that carried no observation (NaN input).
+	Missing [][]bool
+	// X, Y are the repaired trajectories: reconstruction at missing and
+	// faulty cells, the observed values elsewhere.
+	X, Y [][]float64
+	// ReconstructedX, ReconstructedY are the raw low-rank reconstructions
+	// at every cell.
+	ReconstructedX, ReconstructedY [][]float64
+	// Iterations is the number of DETECT→CORRECT→CHECK rounds executed.
+	Iterations int
+	// Converged reports whether the flag set stabilized before the
+	// iteration cap.
+	Converged bool
+}
+
+// options collects the tunable knobs; construct with Option functions.
+type options struct {
+	cfg     core.Config
+	variant Variant
+}
+
+// Option customizes Run.
+type Option func(*options) error
+
+// WithSlotDuration sets the sampling period τ (default 30 s).
+func WithSlotDuration(tau time.Duration) Option {
+	return func(o *options) error {
+		if tau <= 0 {
+			return fmt.Errorf("itscs: slot duration must be positive, got %v", tau)
+		}
+		o.cfg.Detect.Tau = tau
+		o.cfg.Reconstruct.Tau = tau
+		return nil
+	}
+}
+
+// WithVariant selects the reconstruction objective (default VariantFull).
+func WithVariant(v Variant) Option {
+	return func(o *options) error {
+		if _, err := v.toInternal(); err != nil {
+			return err
+		}
+		o.variant = v
+		return nil
+	}
+}
+
+// WithDetectionWindow sets the local-median window size (odd, default 9).
+func WithDetectionWindow(w int) Option {
+	return func(o *options) error {
+		o.cfg.Detect.Window = w
+		return nil
+	}
+}
+
+// WithXi sets the detector's tolerance coefficient ξ (default 1.5).
+func WithXi(xi float64) Option {
+	return func(o *options) error {
+		o.cfg.Detect.Xi = xi
+		return nil
+	}
+}
+
+// WithToleranceFloor sets the minimum detection tolerance in meters,
+// guarding idle participants against GPS noise (default 60 m).
+func WithToleranceFloor(meters float64) Option {
+	return func(o *options) error {
+		o.cfg.Detect.MinToleranceMeters = meters
+		return nil
+	}
+}
+
+// WithRank fixes the completion rank; 0 (the default) selects it
+// automatically from the data's singular-value spectrum.
+func WithRank(r int) Option {
+	return func(o *options) error {
+		o.cfg.Reconstruct.Rank = r
+		return nil
+	}
+}
+
+// WithLambdas sets the reconstruction trade-off weights λ₁ (rank
+// surrogate) and λ₂ (temporal/velocity stability).
+func WithLambdas(lambda1, lambda2 float64) Option {
+	return func(o *options) error {
+		o.cfg.Reconstruct.Lambda1 = lambda1
+		o.cfg.Reconstruct.Lambda2 = lambda2
+		return nil
+	}
+}
+
+// WithCheckThresholds sets Algorithm 3's clear/raise thresholds in meters
+// (defaults 300 and 800).
+func WithCheckThresholds(low, high float64) Option {
+	return func(o *options) error {
+		o.cfg.CheckLowMeters = low
+		o.cfg.CheckHighMeters = high
+		return nil
+	}
+}
+
+// WithMaxIterations bounds the outer loop (default 15).
+func WithMaxIterations(n int) Option {
+	return func(o *options) error {
+		o.cfg.MaxIterations = n
+		return nil
+	}
+}
+
+// WithAdaptiveCheck toggles the adaptive raise threshold in the CHECK
+// phase (default on): when enabled, the threshold widens to sit above the
+// reconstruction's own residual level so datasets with a high low-rank
+// truncation floor are not flooded with false positives.
+func WithAdaptiveCheck(enabled bool) Option {
+	return func(o *options) error {
+		o.cfg.DisableAdaptiveCheck = !enabled
+		return nil
+	}
+}
+
+// Run executes the I(TS,CS) framework over the dataset.
+func Run(ds Dataset, opts ...Option) (*Result, error) {
+	o := options{cfg: core.DefaultConfig(), variant: VariantFull}
+	for _, apply := range opts {
+		if err := apply(&o); err != nil {
+			return nil, err
+		}
+	}
+	variant, err := o.variant.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	o.cfg.Reconstruct.Variant = variant
+
+	in, err := toInput(ds)
+	if err != nil {
+		return nil, err
+	}
+	out, err := core.Run(o.cfg, *in)
+	if err != nil {
+		return nil, err
+	}
+	return toResult(ds, in, out), nil
+}
+
+// toInput validates the dataset and converts it to the internal form.
+func toInput(ds Dataset) (*core.Input, error) {
+	n := len(ds.X)
+	if n == 0 {
+		return nil, errors.New("itscs: dataset has no participants")
+	}
+	t := len(ds.X[0])
+	if t == 0 {
+		return nil, errors.New("itscs: dataset has no time slots")
+	}
+	for name, rows := range map[string][][]float64{"Y": ds.Y, "VX": ds.VX, "VY": ds.VY} {
+		if len(rows) != n {
+			return nil, fmt.Errorf("itscs: %s has %d rows, want %d", name, len(rows), n)
+		}
+	}
+	in := core.Input{
+		SX:        mat.New(n, t),
+		SY:        mat.New(n, t),
+		Existence: mat.New(n, t),
+		VX:        mat.New(n, t),
+		VY:        mat.New(n, t),
+	}
+	for i := 0; i < n; i++ {
+		for name, rows := range map[string][][]float64{"X": ds.X, "Y": ds.Y, "VX": ds.VX, "VY": ds.VY} {
+			if len(rows[i]) != t {
+				return nil, fmt.Errorf("itscs: %s row %d has %d slots, want %d", name, i, len(rows[i]), t)
+			}
+		}
+		for j := 0; j < t; j++ {
+			x, y := ds.X[i][j], ds.Y[i][j]
+			if math.IsNaN(x) || math.IsNaN(y) {
+				continue // missing: E stays 0, S stays 0
+			}
+			in.SX.Set(i, j, x)
+			in.SY.Set(i, j, y)
+			in.Existence.Set(i, j, 1)
+		}
+		for j := 0; j < t; j++ {
+			vx, vy := ds.VX[i][j], ds.VY[i][j]
+			if math.IsNaN(vx) {
+				vx = 0
+			}
+			if math.IsNaN(vy) {
+				vy = 0
+			}
+			in.VX.Set(i, j, vx)
+			in.VY.Set(i, j, vy)
+		}
+	}
+	return &in, nil
+}
+
+// toResult converts the internal output to the public form.
+func toResult(ds Dataset, in *core.Input, out *core.Output) *Result {
+	n, t := in.SX.Dims()
+	res := &Result{
+		Faulty:         make([][]bool, n),
+		Missing:        make([][]bool, n),
+		X:              make([][]float64, n),
+		Y:              make([][]float64, n),
+		ReconstructedX: make([][]float64, n),
+		ReconstructedY: make([][]float64, n),
+		Iterations:     out.Iterations,
+		Converged:      out.Converged,
+	}
+	for i := 0; i < n; i++ {
+		res.Faulty[i] = make([]bool, t)
+		res.Missing[i] = make([]bool, t)
+		res.X[i] = make([]float64, t)
+		res.Y[i] = make([]float64, t)
+		res.ReconstructedX[i] = make([]float64, t)
+		res.ReconstructedY[i] = make([]float64, t)
+		for j := 0; j < t; j++ {
+			faulty := out.Detection.At(i, j) != 0
+			missing := in.Existence.At(i, j) == 0
+			res.Faulty[i][j] = faulty
+			res.Missing[i][j] = missing
+			res.ReconstructedX[i][j] = out.XHat.At(i, j)
+			res.ReconstructedY[i][j] = out.YHat.At(i, j)
+			if faulty || missing {
+				res.X[i][j] = out.XHat.At(i, j)
+				res.Y[i][j] = out.YHat.At(i, j)
+			} else {
+				res.X[i][j] = ds.X[i][j]
+				res.Y[i][j] = ds.Y[i][j]
+			}
+		}
+	}
+	return res
+}

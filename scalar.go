@@ -1,0 +1,143 @@
+package itscs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"itscs/internal/core"
+	"itscs/internal/mat"
+)
+
+// ScalarResult reports RunScalar's findings.
+type ScalarResult struct {
+	// Faulty marks the observed cells judged faulty.
+	Faulty [][]bool
+	// Missing marks the cells that carried no observation (NaN input).
+	Missing [][]bool
+	// Values holds the repaired series: reconstruction at missing and
+	// faulty cells, the observed values elsewhere.
+	Values [][]float64
+	// Reconstructed holds the raw low-rank reconstruction at every cell.
+	Reconstructed [][]float64
+	// Iterations counts the DETECT→CORRECT→CHECK rounds executed.
+	Iterations int
+	// Converged reports whether the flag set stabilized.
+	Converged bool
+}
+
+// RunScalar executes the I(TS,CS) framework over a single matrix of
+// generic sensory data — one row per participant, one column per time
+// slot, NaN marking missing observations. This is the paper's §I claim
+// that the framework "can be easily extended to other kinds of sensory
+// data", made concrete.
+//
+// rates optionally reports the sensed quantity's instantaneous rate of
+// change (units per second), the scalar analogue of velocity; pass nil
+// when unavailable and the framework falls back to the pure
+// temporal-stability objective.
+//
+// Thresholds (WithCheckThresholds, WithToleranceFloor) are interpreted in
+// the data's own units rather than meters; adjust them to the sensed
+// quantity's scale.
+func RunScalar(values [][]float64, rates [][]float64, opts ...Option) (*ScalarResult, error) {
+	o := options{cfg: core.DefaultConfig(), variant: VariantFull}
+	for _, apply := range opts {
+		if err := apply(&o); err != nil {
+			return nil, err
+		}
+	}
+	variant, err := o.variant.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	o.cfg.Reconstruct.Variant = variant
+
+	in, err := toScalarInput(values, rates)
+	if err != nil {
+		return nil, err
+	}
+	out, err := core.RunScalar(o.cfg, *in)
+	if err != nil {
+		return nil, err
+	}
+	return toScalarResult(values, in, out), nil
+}
+
+func toScalarInput(values, rates [][]float64) (*core.ScalarInput, error) {
+	n := len(values)
+	if n == 0 {
+		return nil, errors.New("itscs: dataset has no participants")
+	}
+	t := len(values[0])
+	if t == 0 {
+		return nil, errors.New("itscs: dataset has no time slots")
+	}
+	in := core.ScalarInput{
+		S:         mat.New(n, t),
+		Existence: mat.New(n, t),
+	}
+	if rates != nil {
+		if len(rates) != n {
+			return nil, fmt.Errorf("itscs: rates has %d rows, want %d", len(rates), n)
+		}
+		in.Rate = mat.New(n, t)
+	}
+	for i := 0; i < n; i++ {
+		if len(values[i]) != t {
+			return nil, fmt.Errorf("itscs: values row %d has %d slots, want %d", i, len(values[i]), t)
+		}
+		for j := 0; j < t; j++ {
+			v := values[i][j]
+			if math.IsNaN(v) {
+				continue
+			}
+			in.S.Set(i, j, v)
+			in.Existence.Set(i, j, 1)
+		}
+		if rates != nil {
+			if len(rates[i]) != t {
+				return nil, fmt.Errorf("itscs: rates row %d has %d slots, want %d", i, len(rates[i]), t)
+			}
+			for j := 0; j < t; j++ {
+				r := rates[i][j]
+				if math.IsNaN(r) {
+					r = 0
+				}
+				in.Rate.Set(i, j, r)
+			}
+		}
+	}
+	return &in, nil
+}
+
+func toScalarResult(values [][]float64, in *core.ScalarInput, out *core.ScalarOutput) *ScalarResult {
+	n, t := in.S.Dims()
+	res := &ScalarResult{
+		Faulty:        make([][]bool, n),
+		Missing:       make([][]bool, n),
+		Values:        make([][]float64, n),
+		Reconstructed: make([][]float64, n),
+		Iterations:    out.Iterations,
+		Converged:     out.Converged,
+	}
+	for i := 0; i < n; i++ {
+		res.Faulty[i] = make([]bool, t)
+		res.Missing[i] = make([]bool, t)
+		res.Values[i] = make([]float64, t)
+		res.Reconstructed[i] = make([]float64, t)
+		for j := 0; j < t; j++ {
+			faulty := out.Detection.At(i, j) != 0
+			missing := in.Existence.At(i, j) == 0
+			res.Faulty[i][j] = faulty
+			res.Missing[i][j] = missing
+			res.Reconstructed[i][j] = out.SHat.At(i, j)
+			if faulty || missing {
+				res.Values[i][j] = out.SHat.At(i, j)
+			} else {
+				res.Values[i][j] = values[i][j]
+			}
+		}
+	}
+	return res
+}

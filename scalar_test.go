@@ -1,0 +1,119 @@
+package itscs_test
+
+import (
+	"math"
+	"testing"
+
+	"itscs"
+)
+
+// scalarField builds a low-rank sensor field (shared diurnal cycle per
+// sensor) with one missing and several spiked cells.
+func scalarField(n, t int) (values, rates [][]float64, spikes map[[2]int]bool) {
+	values = make([][]float64, n)
+	rates = make([][]float64, n)
+	spikes = map[[2]int]bool{}
+	for i := 0; i < n; i++ {
+		values[i] = make([]float64, t)
+		rates[i] = make([]float64, t)
+		offset := 20 + float64(i)
+		for j := 0; j < t; j++ {
+			values[i][j] = offset + 5*math.Sin(2*math.Pi*float64(j)/float64(t))
+			if j > 0 {
+				rates[i][j] = (values[i][j] - values[i][j-1]) / 30
+			}
+		}
+	}
+	// Faults: +50 spikes on a few cells.
+	for _, cell := range [][2]int{{0, 10}, {2, 25}, {4, 33}} {
+		values[cell[0]][cell[1]] += 50
+		spikes[cell] = true
+	}
+	// One missing observation.
+	values[1][5] = math.NaN()
+	return values, rates, spikes
+}
+
+func scalarOpts() []itscs.Option {
+	return []itscs.Option{
+		itscs.WithToleranceFloor(3),
+		itscs.WithCheckThresholds(2, 10),
+		itscs.WithDetectionWindow(9),
+	}
+}
+
+func TestRunScalarDetectsSpikes(t *testing.T) {
+	values, rates, spikes := scalarField(8, 60)
+	res, err := itscs.RunScalar(values, rates, scalarOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cell := range spikes {
+		if !res.Faulty[cell[0]][cell[1]] {
+			t.Fatalf("spike at %v not detected", cell)
+		}
+	}
+	if !res.Missing[1][5] {
+		t.Fatal("missing cell not reported")
+	}
+	if math.IsNaN(res.Values[1][5]) {
+		t.Fatal("missing cell not repaired")
+	}
+	// Repaired spike should land near the clean diurnal value.
+	clean := 20.0 + 0 + 5*math.Sin(2*math.Pi*10/60)
+	if diff := math.Abs(res.Values[0][10] - clean); diff > 3 {
+		t.Fatalf("spike repaired %.1f degrees off", diff)
+	}
+}
+
+func TestRunScalarWithoutRates(t *testing.T) {
+	values, _, spikes := scalarField(8, 60)
+	res, err := itscs.RunScalar(values, nil, scalarOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cell := range spikes {
+		if !res.Faulty[cell[0]][cell[1]] {
+			t.Fatalf("spike at %v not detected without rates", cell)
+		}
+	}
+}
+
+func TestRunScalarValidation(t *testing.T) {
+	if _, err := itscs.RunScalar(nil, nil); err == nil {
+		t.Fatal("empty dataset should be rejected")
+	}
+	if _, err := itscs.RunScalar([][]float64{{}}, nil); err == nil {
+		t.Fatal("zero slots should be rejected")
+	}
+	if _, err := itscs.RunScalar([][]float64{{1, 2}, {3}}, nil); err == nil {
+		t.Fatal("ragged rows should be rejected")
+	}
+	if _, err := itscs.RunScalar([][]float64{{1, 2}}, [][]float64{{1, 2}, {3, 4}}); err == nil {
+		t.Fatal("rate row mismatch should be rejected")
+	}
+	if _, err := itscs.RunScalar([][]float64{{1, 2}}, [][]float64{{1}}); err == nil {
+		t.Fatal("rate slot mismatch should be rejected")
+	}
+	if _, err := itscs.RunScalar([][]float64{{1, 2}}, nil, itscs.WithXi(-1)); err == nil {
+		t.Fatal("bad option should be rejected")
+	}
+}
+
+func TestRunScalarPreservesCleanCells(t *testing.T) {
+	values, rates, _ := scalarField(8, 60)
+	res, err := itscs.RunScalar(values, rates, scalarOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range values {
+		for j := range values[i] {
+			if res.Faulty[i][j] || res.Missing[i][j] {
+				continue
+			}
+			if res.Values[i][j] != values[i][j] {
+				t.Fatalf("clean cell (%d,%d) modified", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package synthetic
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func smallFleet(t *testing.T) *Fleet {
+	t.Helper()
+	cfg := DefaultFleetConfig()
+	cfg.Participants = 10
+	cfg.Slots = 40
+	fleet, err := GenerateFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet
+}
+
+func TestDefaultFleetConfig(t *testing.T) {
+	cfg := DefaultFleetConfig()
+	if cfg.Participants != 158 || cfg.Slots != 240 || cfg.SlotDuration != 30*time.Second {
+		t.Fatalf("default config diverged from paper scale: %+v", cfg)
+	}
+}
+
+func TestGenerateFleetShapes(t *testing.T) {
+	fleet := smallFleet(t)
+	for name, rows := range map[string][][]float64{"X": fleet.X, "Y": fleet.Y, "VX": fleet.VX, "VY": fleet.VY} {
+		if len(rows) != 10 {
+			t.Fatalf("%s has %d rows", name, len(rows))
+		}
+		for i, r := range rows {
+			if len(r) != 40 {
+				t.Fatalf("%s row %d has %d slots", name, i, len(r))
+			}
+		}
+	}
+}
+
+func TestGenerateFleetInvalidConfig(t *testing.T) {
+	if _, err := GenerateFleet(FleetConfig{Participants: 0, Slots: 10}); err == nil {
+		t.Fatal("want error for zero participants")
+	}
+}
+
+func TestDatasetIsDeepCopy(t *testing.T) {
+	fleet := smallFleet(t)
+	ds := fleet.Dataset()
+	ds.X[0][0] = 123456
+	if fleet.X[0][0] == 123456 {
+		t.Fatal("Dataset must not alias fleet storage")
+	}
+}
+
+func TestCorruptRatios(t *testing.T) {
+	fleet := smallFleet(t)
+	cor, err := fleet.Corrupt(Corruption{MissingRatio: 0.25, FaultyRatio: 0.25, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 10 * 40
+	var missing, faulty, nan int
+	for i := range cor.TruthMissing {
+		for j := range cor.TruthMissing[i] {
+			if cor.TruthMissing[i][j] {
+				missing++
+				if !math.IsNaN(cor.Dataset.X[i][j]) || !math.IsNaN(cor.Dataset.Y[i][j]) {
+					t.Fatal("missing cells must hold NaN")
+				}
+			}
+			if math.IsNaN(cor.Dataset.X[i][j]) {
+				nan++
+			}
+			if cor.TruthFaulty[i][j] {
+				faulty++
+				dev := math.Abs(cor.Dataset.X[i][j] - fleet.X[i][j])
+				if dev < 1000 {
+					t.Fatalf("faulty bias only %v m", dev)
+				}
+			}
+		}
+	}
+	if missing != nan {
+		t.Fatalf("NaN count %d != missing count %d", nan, missing)
+	}
+	wantEach := int(0.25 * float64(total))
+	if missing < wantEach-10 || missing > wantEach+10 {
+		t.Fatalf("missing = %d, want ~%d", missing, wantEach)
+	}
+	if faulty < wantEach-10 || faulty > wantEach+10 {
+		t.Fatalf("faulty = %d, want ~%d", faulty, wantEach)
+	}
+}
+
+func TestCorruptCustomBias(t *testing.T) {
+	fleet := smallFleet(t)
+	cor, err := fleet.Corrupt(Corruption{
+		FaultyRatio:   0.2,
+		BiasMinMeters: 30_000,
+		BiasMaxMeters: 40_000,
+		Seed:          2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cor.TruthFaulty {
+		for j := range cor.TruthFaulty[i] {
+			if cor.TruthFaulty[i][j] {
+				dev := math.Abs(cor.Dataset.X[i][j] - fleet.X[i][j])
+				if dev < 30_000 || dev > 40_000 {
+					t.Fatalf("bias %v outside custom bounds", dev)
+				}
+			}
+		}
+	}
+}
+
+func TestCorruptVelocityFaults(t *testing.T) {
+	fleet := smallFleet(t)
+	cor, err := fleet.Corrupt(Corruption{VelocityFaultRatio: 0.3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var changed int
+	for i := range cor.Dataset.VX {
+		for j := range cor.Dataset.VX[i] {
+			if cor.Dataset.VX[i][j] != fleet.VX[i][j] {
+				changed++
+			}
+		}
+	}
+	want := int(0.3 * 400)
+	if changed < want-30 || changed > want+30 {
+		t.Fatalf("changed %d velocity cells, want ~%d", changed, want)
+	}
+}
+
+func TestCorruptValidation(t *testing.T) {
+	fleet := smallFleet(t)
+	bad := []Corruption{
+		{MissingRatio: -0.1},
+		{FaultyRatio: 1.2},
+		{MissingRatio: 0.6, FaultyRatio: 0.6},
+		{VelocityFaultRatio: 1.0},
+	}
+	for i, c := range bad {
+		if _, err := fleet.Corrupt(c); err == nil {
+			t.Fatalf("corruption %d should be rejected", i)
+		}
+	}
+}
+
+func TestCorruptDeterministic(t *testing.T) {
+	fleet := smallFleet(t)
+	a, err := fleet.Corrupt(Corruption{MissingRatio: 0.2, FaultyRatio: 0.2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fleet.Corrupt(Corruption{MissingRatio: 0.2, FaultyRatio: 0.2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Dataset.X {
+		for j := range a.Dataset.X[i] {
+			av, bv := a.Dataset.X[i][j], b.Dataset.X[i][j]
+			if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+				t.Fatal("same seed must reproduce the corruption")
+			}
+		}
+	}
+}
+
+func TestCorruptDoesNotMutateFleet(t *testing.T) {
+	fleet := smallFleet(t)
+	before := fleet.X[0][0]
+	if _, err := fleet.Corrupt(Corruption{MissingRatio: 0.3, FaultyRatio: 0.3, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if fleet.X[0][0] != before {
+		t.Fatal("Corrupt must not mutate the fleet")
+	}
+}
