@@ -8,9 +8,9 @@ import (
 )
 
 // benchWorkload adapts the test fixture for benchmarks.
-func benchWorkload(b *testing.B, alpha, beta float64) (Input, func(*Output) (float64, float64, float64)) {
+func benchWorkload(b *testing.B, n, slots int, alpha, beta float64) (Input, func(*Output) (float64, float64, float64)) {
 	b.Helper()
-	fleet, res := fixture(b, 40, 120, alpha, beta)
+	fleet, res := fixture(b, n, slots, alpha, beta)
 	score := func(out *Output) (precision, recall, mae float64) {
 		conf, err := metrics.Compare(out.Detection, res.Faulty, res.Existence)
 		if err != nil {
@@ -27,7 +27,32 @@ func benchWorkload(b *testing.B, alpha, beta float64) (Input, func(*Output) (flo
 
 // BenchmarkRunFramework measures the end-to-end loop at a moderate load.
 func BenchmarkRunFramework(b *testing.B) {
-	in, score := benchWorkload(b, 0.2, 0.2)
+	in, score := benchWorkload(b, 40, 120, 0.2, 0.2)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := Run(cfg, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			p, r, mae := score(out)
+			b.ReportMetric(p, "precision")
+			b.ReportMetric(r, "recall")
+			b.ReportMetric(mae, "MAE_m")
+			b.ReportMetric(float64(out.Iterations), "outer_iters")
+		}
+	}
+}
+
+// BenchmarkRunPaperScale measures the end-to-end loop at the paper's
+// SUVnet evaluation dimensions (158 taxis × 240 slots), the scale the
+// speedup targets are quoted against.
+func BenchmarkRunPaperScale(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-scale end-to-end run skipped in short mode")
+	}
+	in, score := benchWorkload(b, 158, 240, 0.2, 0.2)
 	cfg := DefaultConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -49,7 +74,7 @@ func BenchmarkRunFramework(b *testing.B) {
 // clear/raise thresholds: too tight a pair flaps and over-flags, too loose
 // a pair lets faults leak into the trusted set.
 func BenchmarkCheckThresholds(b *testing.B) {
-	in, score := benchWorkload(b, 0.3, 0.3)
+	in, score := benchWorkload(b, 40, 120, 0.3, 0.3)
 	for _, th := range []struct{ lo, hi float64 }{
 		{100, 300}, {300, 800}, {600, 1600},
 	} {

@@ -157,6 +157,75 @@ func rankName(r int) string {
 	return fmt.Sprintf("rank%02d", r)
 }
 
+// sweepFixture builds a problem and warm factors for the raw ASD sweep
+// benchmarks. RandomInit sidesteps the O(min(n,t)³) SVD warm start, which
+// is not what these benchmarks measure.
+func sweepFixture(b *testing.B, n, t, rank int) (*problem, *mat.Dense, *mat.Dense) {
+	b.Helper()
+	x, v := lowRankFixture(n, t, 7)
+	mask := dropCells(n, t, n*t/5, 8)
+	s, err := x.Hadamard(mask)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Variant = VariantVelocityTemporal
+	opt.Rank = rank
+	opt.RandomInit = true
+	prob, err := newProblem(s, mask, motion.AverageVelocity(v), opt, n, t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, r, err := initFactors(s, mask, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm up: allocate the workspace so the timed loop is steady state.
+	if _, err := prob.step(l, r, true); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := prob.step(l, r, false); err != nil {
+		b.Fatal(err)
+	}
+	return prob, l, r
+}
+
+// BenchmarkASDSweep measures one full L+R ASD sweep at paper scale
+// (158×240, the SUVnet evaluation dimensions) and fleet scale (1000×960)
+// across worker budgets. ReportAllocs backs the zero-allocation claim: at
+// workers=1 the steady-state sweep must report 0 B/op.
+func BenchmarkASDSweep(b *testing.B) {
+	scales := []struct {
+		name    string
+		n, t    int
+		workers []int
+	}{
+		{"paper158x240", 158, 240, []int{1, 2, 4, 8}},
+		{"fleet1000x960", 1000, 960, []int{1, 2, 4, 8}},
+	}
+	for _, sc := range scales {
+		if sc.n >= 1000 && testing.Short() {
+			continue
+		}
+		prob, l, r := sweepFixture(b, sc.n, sc.t, 16)
+		for _, workers := range sc.workers {
+			b.Run(fmt.Sprintf("%s/workers%d", sc.name, workers), func(b *testing.B) {
+				defer mat.SetParallelism(mat.SetParallelism(workers))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := prob.step(l, r, true); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := prob.step(l, r, false); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkLineSearchVsFixedStep is the DESIGN.md ablation over the ASD
 // step-size rule: the exact analytic line search against hand-tuned fixed
 // steps at the same sweep budget. The exact search needs no tuning and

@@ -204,6 +204,57 @@ type problem struct {
 	lambda2 float64
 	// fixedStep, when positive, replaces the exact line search.
 	fixedStep float64
+	// ws is the scratch workspace shared by every sweep; allocated once
+	// per factorization rank so steady-state ASD performs no heap
+	// allocations.
+	ws *workspace
+}
+
+// workspace holds every intermediate matrix the ASD sweeps need, sized
+// once for the problem's n×t and the factorization rank. Buffers are
+// reused across sweeps; the residual buffers (m, e1, g) are invalidated by
+// each residuals call and the line-search buffers (dm, p1, p3) by each
+// lineStats call.
+type workspace struct {
+	rank int
+	// m = L·Rᵀ, e1 = (LRᵀ−S)∘B, dm = D·Rᵀ (or L·Dᵀ), p1 = dm∘B: all n×t.
+	m, e1, dm, p1 *mat.Dense
+	// gl = ∇_L f (n×r), gr = ∇_R f (t×r).
+	gl, gr *mat.Dense
+	// Stability-term scratch, nil when the 𝕋' term is inactive:
+	// g = LRᵀ·𝕋'−target and p3 = dm·𝕋' (n×(t−1)), adj = G·𝕋'ᵀ (n×t),
+	// tl (n×r) and tr (t×r) hold the λ₂ gradient contributions.
+	g, p3, adj *mat.Dense
+	tl, tr     *mat.Dense
+}
+
+// ensure returns the workspace for factorization rank r.Cols(), allocating
+// it on first use or when the rank changes (which happens only between
+// reconstructions, never inside the sweep loop).
+func (p *problem) ensure(r *mat.Dense) *workspace {
+	rank := r.Cols()
+	if p.ws != nil && p.ws.rank == rank {
+		return p.ws
+	}
+	n, t := p.s.Dims()
+	ws := &workspace{
+		rank: rank,
+		m:    mat.New(n, t),
+		e1:   mat.New(n, t),
+		dm:   mat.New(n, t),
+		p1:   mat.New(n, t),
+		gl:   mat.New(n, rank),
+		gr:   mat.New(t, rank),
+	}
+	if p.useStability {
+		ws.g = mat.New(n, t-1)
+		ws.p3 = mat.New(n, t-1)
+		ws.adj = mat.New(n, t)
+		ws.tl = mat.New(n, rank)
+		ws.tr = mat.New(t, rank)
+	}
+	p.ws = ws
+	return ws
 }
 
 func newProblem(s, b, avgV *mat.Dense, opt Options, n, t int) (*problem, error) {
@@ -251,6 +302,14 @@ func newProblem(s, b, avgV *mat.Dense, opt Options, n, t int) (*problem, error) 
 func applyDiff(m *mat.Dense) *mat.Dense {
 	n, t := m.Dims()
 	out := mat.New(n, t-1)
+	applyDiffInto(out, m)
+	return out
+}
+
+// applyDiffInto is the allocation-free form of applyDiff; out must be
+// pre-sized to n×(t−1).
+func applyDiffInto(out, m *mat.Dense) {
+	n, t := m.Dims()
 	for i := 0; i < n; i++ {
 		src := m.RowView(i)
 		dst := out.RowView(i)
@@ -258,15 +317,22 @@ func applyDiff(m *mat.Dense) *mat.Dense {
 			dst[j] = src[j+1] - src[j]
 		}
 	}
-	return out
 }
 
 // applyDiffAdjoint computes G·𝕋'ᵀ in O(n·t):
 // (G·𝕋'ᵀ)(i,j) = g(i,j−1) − g(i,j) with out-of-range terms zero.
 func applyDiffAdjoint(g *mat.Dense) *mat.Dense {
 	n, tm1 := g.Dims()
+	out := mat.New(n, tm1+1)
+	applyDiffAdjointInto(out, g)
+	return out
+}
+
+// applyDiffAdjointInto is the allocation-free form of applyDiffAdjoint;
+// out must be pre-sized to n×(t) for a n×(t−1) input.
+func applyDiffAdjointInto(out, g *mat.Dense) {
+	n, tm1 := g.Dims()
 	t := tm1 + 1
-	out := mat.New(n, t)
 	for i := 0; i < n; i++ {
 		src := g.RowView(i)
 		dst := out.RowView(i)
@@ -281,7 +347,6 @@ func applyDiffAdjoint(g *mat.Dense) *mat.Dense {
 			dst[j] = v
 		}
 	}
-	return out
 }
 
 // initFactors produces the ASD starting point: nearest-value fill of the
@@ -354,7 +419,9 @@ func maxInt(a, b int) int {
 // nearestFill replaces untrusted cells (b == 0) with the nearest trusted
 // value in the same row (ties resolve to the left neighbour). Rows with no
 // trusted cells are filled with the column means of trusted cells in other
-// rows, or zero if the whole matrix is untrusted.
+// rows, or zero if the whole matrix is untrusted. Rows are independent
+// once the column stats are in, so the fill runs row-block parallel with
+// per-worker index scratch.
 func nearestFill(s, b *mat.Dense) *mat.Dense {
 	n, t := s.Dims()
 	out := s.Clone()
@@ -370,59 +437,76 @@ func nearestFill(s, b *mat.Dense) *mat.Dense {
 			}
 		}
 	}
-	left := make([]int, t)
-	right := make([]int, t)
-	for i := 0; i < n; i++ {
-		brow := b.RowView(i)
-		srow := s.RowView(i)
-		orow := out.RowView(i)
-		// Nearest trusted index on each side of every cell.
-		idx := -1
-		for j := 0; j < t; j++ {
-			if brow[j] != 0 {
-				idx = j
-			}
-			left[j] = idx
-		}
-		idx = -1
-		for j := t - 1; j >= 0; j-- {
-			if brow[j] != 0 {
-				idx = j
-			}
-			right[j] = idx
-		}
-		for j := 0; j < t; j++ {
-			if brow[j] != 0 {
-				continue
-			}
-			switch {
-			case left[j] < 0 && right[j] < 0:
-				// Fully untrusted row: fall back to the column mean.
-				if colCount[j] > 0 {
-					orow[j] = colSum[j] / colCount[j]
-				} else {
-					orow[j] = 0
+	mat.ParallelRows(n, 4*t, func(lo, hi int) {
+		left := make([]int, t)
+		right := make([]int, t)
+		for i := lo; i < hi; i++ {
+			brow := b.RowView(i)
+			srow := s.RowView(i)
+			orow := out.RowView(i)
+			// Nearest trusted index on each side of every cell.
+			idx := -1
+			for j := 0; j < t; j++ {
+				if brow[j] != 0 {
+					idx = j
 				}
-			case left[j] < 0:
-				orow[j] = srow[right[j]]
-			case right[j] < 0:
-				orow[j] = srow[left[j]]
-			case right[j]-j < j-left[j]:
-				orow[j] = srow[right[j]]
-			default:
-				orow[j] = srow[left[j]]
+				left[j] = idx
+			}
+			idx = -1
+			for j := t - 1; j >= 0; j-- {
+				if brow[j] != 0 {
+					idx = j
+				}
+				right[j] = idx
+			}
+			for j := 0; j < t; j++ {
+				if brow[j] != 0 {
+					continue
+				}
+				switch {
+				case left[j] < 0 && right[j] < 0:
+					// Fully untrusted row: fall back to the column mean.
+					if colCount[j] > 0 {
+						orow[j] = colSum[j] / colCount[j]
+					} else {
+						orow[j] = 0
+					}
+				case left[j] < 0:
+					orow[j] = srow[right[j]]
+				case right[j] < 0:
+					orow[j] = srow[left[j]]
+				case right[j]-j < j-left[j]:
+					orow[j] = srow[right[j]]
+				default:
+					orow[j] = srow[left[j]]
+				}
 			}
 		}
-	}
+	})
 	return out
 }
+
+// reconcileEvery is the sweep interval at which the incrementally tracked
+// objective is replaced by an exact recomputation. The incremental update
+// `next = obj − dropL − dropR` accumulates floating-point drift over
+// hundreds of sweeps; an exact evaluation costs one residual pass — cheap
+// relative to the K sweeps it anchors — and keeps the reported trace
+// trustworthy.
+const reconcileEvery = 25
 
 // run performs the ASD sweeps (Algorithm 2 lines 9-18).
 //
 // The objective is tracked incrementally: along a fixed direction every
 // term is quadratic in the step size, so the exact line search that yields
 // α* = num/den also yields the new objective f(α*) = f(0) − num²/den.
-// This avoids a third residual evaluation per sweep.
+// This avoids a third residual evaluation per sweep. The tracked value is
+// reconciled with an exact evaluation every reconcileEvery sweeps and once
+// at exit.
+//
+// Termination requires a small *non-negative* relative improvement: with a
+// fixed step size a sweep can increase the objective (negative drop), and
+// a negative ratio must read as "not converged", not as "converged". A
+// zero objective (already at the optimum) terminates immediately.
 func (p *problem) run(l, r *mat.Dense, opt Options) (*Result, error) {
 	obj := p.objective(l, r)
 	trace := make([]float64, 0, opt.MaxIters+1)
@@ -438,14 +522,27 @@ func (p *problem) run(l, r *mat.Dense, opt Options) (*Result, error) {
 			return nil, err
 		}
 		next := obj - dropL - dropR
+		if (iters+1)%reconcileEvery == 0 {
+			next = p.objective(l, r)
+		}
 		trace = append(trace, next)
-		if obj > 0 && (obj-next)/obj < opt.TerminateRatio {
-			obj = next
-			iters++
-			break
+		if improved := obj - next; improved >= 0 {
+			rel := 0.0
+			if obj > 0 {
+				rel = improved / obj
+			}
+			if rel < opt.TerminateRatio {
+				obj = next
+				iters++
+				break
+			}
 		}
 		obj = next
 	}
+	// Reconcile once at exit so Result.Objective is the exact objective at
+	// the final factors, not the drifted incremental estimate.
+	obj = p.objective(l, r)
+	trace[len(trace)-1] = obj
 	sHat, err := l.MulT(r)
 	if err != nil {
 		return nil, fmt.Errorf("csrecon: assemble reconstruction: %w", err)
@@ -454,27 +551,27 @@ func (p *problem) run(l, r *mat.Dense, opt Options) (*Result, error) {
 }
 
 // residuals computes E1 = (LRᵀ − S)∘B and, when the stability term is
-// active, G = LRᵀ·𝕋' − target.
+// active, G = LRᵀ·𝕋' − target. The returned matrices are workspace
+// buffers, valid until the next residuals call on this problem.
 func (p *problem) residuals(l, r *mat.Dense) (e1, g *mat.Dense, err error) {
-	m, err := l.MulT(r)
-	if err != nil {
+	ws := p.ensure(r)
+	if err := l.MulTInto(ws.m, r); err != nil {
 		return nil, nil, err
 	}
-	e1, err = m.Hadamard(p.b)
-	if err != nil {
+	if err := ws.m.HadamardInto(ws.e1, p.b); err != nil {
 		return nil, nil, err
 	}
-	if err := e1.SubInPlace(p.sMasked); err != nil {
+	if err := ws.e1.SubInPlace(p.sMasked); err != nil {
 		return nil, nil, err
 	}
 	if !p.useStability {
-		return e1, nil, nil
+		return ws.e1, nil, nil
 	}
-	g = applyDiff(m)
-	if err := g.SubInPlace(p.target); err != nil {
+	applyDiffInto(ws.g, ws.m)
+	if err := ws.g.SubInPlace(p.target); err != nil {
 		return nil, nil, err
 	}
-	return e1, g, nil
+	return ws.e1, ws.g, nil
 }
 
 // objective evaluates Eq. (23) (or its reduced variants) at (L, R).
@@ -535,49 +632,51 @@ func (p *problem) step(l, r *mat.Dense, updateL bool) (drop float64, err error) 
 	return drop, r.AxpyInPlace(-alpha, grad)
 }
 
-// gradL computes ∇_L f = 2·E1·R + 2λ₁·L + 2λ₂·G·𝕋'ᵀ·R.
+// gradL computes ∇_L f = 2·E1·R + 2λ₁·L + 2λ₂·G·𝕋'ᵀ·R into the workspace
+// buffer ws.gl, valid until the next gradL call on this problem.
 func (p *problem) gradL(l, r, e1, g *mat.Dense) (*mat.Dense, error) {
-	grad, err := e1.Mul(r)
-	if err != nil {
+	ws := p.ensure(r)
+	if err := e1.MulInto(ws.gl, r); err != nil {
 		return nil, err
 	}
-	grad.Scale(2)
-	if err := grad.AxpyInPlace(2*p.lambda1, l); err != nil {
+	ws.gl.Scale(2)
+	if err := ws.gl.AxpyInPlace(2*p.lambda1, l); err != nil {
 		return nil, err
 	}
 	if g != nil {
-		gtr, err := applyDiffAdjoint(g).Mul(r) // (G·𝕋'ᵀ)·R : n×r
-		if err != nil {
+		applyDiffAdjointInto(ws.adj, g)
+		if err := ws.adj.MulInto(ws.tl, r); err != nil { // (G·𝕋'ᵀ)·R : n×r
 			return nil, err
 		}
-		if err := grad.AxpyInPlace(2*p.lambda2, gtr); err != nil {
+		if err := ws.gl.AxpyInPlace(2*p.lambda2, ws.tl); err != nil {
 			return nil, err
 		}
 	}
-	return grad, nil
+	return ws.gl, nil
 }
 
-// gradR computes ∇_R f = 2·E1ᵀ·L + 2λ₁·R + 2λ₂·𝕋'·Gᵀ·L.
+// gradR computes ∇_R f = 2·E1ᵀ·L + 2λ₁·R + 2λ₂·𝕋'·Gᵀ·L into the workspace
+// buffer ws.gr, valid until the next gradR call on this problem.
 func (p *problem) gradR(l, r, e1, g *mat.Dense) (*mat.Dense, error) {
-	grad, err := e1.TMul(l) // E1ᵀ·L : t×r
-	if err != nil {
+	ws := p.ensure(r)
+	if err := e1.TMulInto(ws.gr, l); err != nil { // E1ᵀ·L : t×r
 		return nil, err
 	}
-	grad.Scale(2)
-	if err := grad.AxpyInPlace(2*p.lambda1, r); err != nil {
+	ws.gr.Scale(2)
+	if err := ws.gr.AxpyInPlace(2*p.lambda1, r); err != nil {
 		return nil, err
 	}
 	if g != nil {
 		// 𝕋'·Gᵀ·L = (G·𝕋'ᵀ)ᵀ·L, with the adjoint applied in O(n·t).
-		tgl, err := applyDiffAdjoint(g).TMul(l) // t×r
-		if err != nil {
+		applyDiffAdjointInto(ws.adj, g)
+		if err := ws.adj.TMulInto(ws.tr, l); err != nil { // t×r
 			return nil, err
 		}
-		if err := grad.AxpyInPlace(2*p.lambda2, tgl); err != nil {
+		if err := ws.gr.AxpyInPlace(2*p.lambda2, ws.tr); err != nil {
 			return nil, err
 		}
 	}
-	return grad, nil
+	return ws.gr, nil
 }
 
 // lineStats computes the quadratic coefficients of f along −grad:
@@ -587,24 +686,23 @@ func (p *problem) gradR(l, r, e1, g *mat.Dense) (*mat.Dense, error) {
 // num = ⟨E1,P1⟩ + λ₁⟨L,D⟩ + λ₂⟨G,P3⟩, den = ‖P1‖² + λ₁‖D‖² + λ₂‖P3‖²,
 // and symmetrically for the R step with P1 = (L·Dᵀ)∘B, P3 = L·Dᵀ·𝕋'.
 func (p *problem) lineStats(l, r, grad, e1, g *mat.Dense, updateL bool) (num, den float64, err error) {
-	var dm *mat.Dense
+	ws := p.ensure(r)
 	if updateL {
-		dm, err = grad.MulT(r) // D·Rᵀ : n×t
+		err = grad.MulTInto(ws.dm, r) // D·Rᵀ : n×t
 	} else {
-		dm, err = l.MulT(grad) // L·Dᵀ : n×t
+		err = l.MulTInto(ws.dm, grad) // L·Dᵀ : n×t
 	}
 	if err != nil {
 		return 0, 0, err
 	}
-	p1, err := dm.Hadamard(p.b)
+	if err := ws.dm.HadamardInto(ws.p1, p.b); err != nil {
+		return 0, 0, err
+	}
+	num, err = e1.Dot(ws.p1)
 	if err != nil {
 		return 0, 0, err
 	}
-	num, err = e1.Dot(p1)
-	if err != nil {
-		return 0, 0, err
-	}
-	den = p1.FrobeniusNorm2()
+	den = ws.p1.FrobeniusNorm2()
 
 	var anchor *mat.Dense
 	if updateL {
@@ -620,13 +718,13 @@ func (p *problem) lineStats(l, r, grad, e1, g *mat.Dense, updateL bool) (num, de
 	den += p.lambda1 * grad.FrobeniusNorm2()
 
 	if g != nil {
-		p3 := applyDiff(dm)
-		dotG, err := g.Dot(p3)
+		applyDiffInto(ws.p3, ws.dm)
+		dotG, err := g.Dot(ws.p3)
 		if err != nil {
 			return 0, 0, err
 		}
 		num += p.lambda2 * dotG
-		den += p.lambda2 * p3.FrobeniusNorm2()
+		den += p.lambda2 * ws.p3.FrobeniusNorm2()
 	}
 	return num, den, nil
 }

@@ -321,6 +321,41 @@ func (m *Dense) SubInPlace(other *Dense) error {
 	return nil
 }
 
+// SubInto computes dst = m - other without allocating. All three matrices
+// must share the same shape; dst may alias either operand.
+func (m *Dense) SubInto(dst, other *Dense) error {
+	if err := sameShape3(dst, m, other, "sub"); err != nil {
+		return err
+	}
+	for i := range m.data {
+		dst.data[i] = m.data[i] - other.data[i]
+	}
+	return nil
+}
+
+// AxpyInto computes dst = m + alpha*other without allocating. All three
+// matrices must share the same shape; dst may alias either operand.
+func (m *Dense) AxpyInto(dst *Dense, alpha float64, other *Dense) error {
+	if err := sameShape3(dst, m, other, "axpy"); err != nil {
+		return err
+	}
+	for i := range m.data {
+		dst.data[i] = m.data[i] + alpha*other.data[i]
+	}
+	return nil
+}
+
+// sameShape3 validates that dst, a and b all share one shape.
+func sameShape3(dst, a, b *Dense, op string) error {
+	if a.rows != b.rows || a.cols != b.cols {
+		return fmt.Errorf("%w: %s %dx%d and %dx%d", ErrShape, op, a.rows, a.cols, b.rows, b.cols)
+	}
+	if dst.rows != a.rows || dst.cols != a.cols {
+		return fmt.Errorf("%w: %s dst %dx%d, want %dx%d", ErrShape, op, dst.rows, dst.cols, a.rows, a.cols)
+	}
+	return nil
+}
+
 // AxpyInPlace computes m += alpha*other element-wise.
 func (m *Dense) AxpyInPlace(alpha float64, other *Dense) error {
 	if m.rows != other.rows || m.cols != other.cols {
@@ -355,6 +390,18 @@ func (m *Dense) HadamardInPlace(other *Dense) error {
 	return nil
 }
 
+// HadamardInto computes dst = m ∘ other without allocating. All three
+// matrices must share the same shape; dst may alias either operand.
+func (m *Dense) HadamardInto(dst, other *Dense) error {
+	if err := sameShape3(dst, m, other, "hadamard"); err != nil {
+		return err
+	}
+	for i := range m.data {
+		dst.data[i] = m.data[i] * other.data[i]
+	}
+	return nil
+}
+
 // Mul returns the matrix product m·other.
 func (m *Dense) Mul(other *Dense) (*Dense, error) {
 	if m.cols != other.rows {
@@ -382,18 +429,35 @@ func (m *Dense) MulInto(dst, other *Dense) error {
 }
 
 // mulInto is the ikj-order kernel: cache friendly for row-major storage.
+// Output rows are independent, so the work is split into row blocks; the
+// per-element accumulation order matches the sequential loop exactly, so
+// results are bit-identical at any parallelism level. The sequential
+// branch avoids the closure so the hot path stays allocation-free.
 func mulInto(dst, a, b *Dense) {
-	for i := range dst.data {
-		dst.data[i] = 0
+	if !parallelWorthwhile(a.rows, a.cols*b.cols) {
+		mulIntoBlock(dst, a, b, 0, a.rows)
+		return
 	}
-	for i := 0; i < a.rows; i++ {
+	ParallelRows(a.rows, a.cols*b.cols, func(lo, hi int) {
+		mulIntoBlock(dst, a, b, lo, hi)
+	})
+}
+
+func mulIntoBlock(dst, a, b *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		arow := a.data[i*a.cols : (i+1)*a.cols]
 		drow := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for j := range drow {
+			drow[j] = 0
+		}
 		for k, av := range arow {
 			if av == 0 {
 				continue
 			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
+			// Re-slice to len(drow) so the compiler can prove drow[j] is
+			// in bounds (b.cols == dst.cols is the caller's contract, but
+			// invisible here).
+			brow := b.data[k*b.cols:][:len(drow)]
 			for j, bv := range brow {
 				drow[j] += av * bv
 			}
@@ -407,18 +471,54 @@ func (m *Dense) MulT(other *Dense) (*Dense, error) {
 		return nil, fmt.Errorf("%w: mulT %dx%d by (%dx%d)ᵀ", ErrShape, m.rows, m.cols, other.rows, other.cols)
 	}
 	out := New(m.rows, other.rows)
-	for i := 0; i < m.rows; i++ {
-		arow := m.data[i*m.cols : (i+1)*m.cols]
-		for j := 0; j < other.rows; j++ {
-			brow := other.data[j*other.cols : (j+1)*other.cols]
+	mulTInto(out, m, other)
+	return out, nil
+}
+
+// MulTInto computes dst = m·otherᵀ without allocating; dst must be
+// pre-sized to m.rows × other.rows and distinct from both operands.
+func (m *Dense) MulTInto(dst, other *Dense) error {
+	if m.cols != other.cols {
+		return fmt.Errorf("%w: mulT %dx%d by (%dx%d)ᵀ", ErrShape, m.rows, m.cols, other.rows, other.cols)
+	}
+	if dst.rows != m.rows || dst.cols != other.rows {
+		return fmt.Errorf("%w: dst %dx%d, want %dx%d", ErrShape, dst.rows, dst.cols, m.rows, other.rows)
+	}
+	if dst == m || dst == other {
+		return fmt.Errorf("%w: dst must not alias an operand", ErrShape)
+	}
+	mulTInto(dst, m, other)
+	return nil
+}
+
+// mulTInto is the dot-product kernel for a·bᵀ, row-block parallel over the
+// output rows.
+func mulTInto(dst, a, b *Dense) {
+	if !parallelWorthwhile(a.rows, a.cols*b.rows) {
+		mulTIntoBlock(dst, a, b, 0, a.rows)
+		return
+	}
+	ParallelRows(a.rows, a.cols*b.rows, func(lo, hi int) {
+		mulTIntoBlock(dst, a, b, lo, hi)
+	})
+}
+
+func mulTIntoBlock(dst, a, b *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		drow := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for j := 0; j < b.rows; j++ {
+			// Re-slice to len(arow) so the compiler can prove brow[k] is
+			// in bounds (a.cols == b.cols is the caller's contract, but
+			// invisible here).
+			brow := b.data[j*b.cols:][:len(arow)]
 			var sum float64
 			for k, av := range arow {
 				sum += av * brow[k]
 			}
-			out.data[i*out.cols+j] = sum
+			drow[j] = sum
 		}
 	}
-	return out, nil
 }
 
 // TMul returns mᵀ·other without materializing the transpose.
@@ -427,20 +527,64 @@ func (m *Dense) TMul(other *Dense) (*Dense, error) {
 		return nil, fmt.Errorf("%w: tmul (%dx%d)ᵀ by %dx%d", ErrShape, m.rows, m.cols, other.rows, other.cols)
 	}
 	out := New(m.cols, other.cols)
-	for k := 0; k < m.rows; k++ {
-		arow := m.data[k*m.cols : (k+1)*m.cols]
-		brow := other.data[k*other.cols : (k+1)*other.cols]
-		for i, av := range arow {
+	tMulInto(out, m, other)
+	return out, nil
+}
+
+// TMulInto computes dst = mᵀ·other without allocating; dst must be
+// pre-sized to m.cols × other.cols and distinct from both operands.
+func (m *Dense) TMulInto(dst, other *Dense) error {
+	if m.rows != other.rows {
+		return fmt.Errorf("%w: tmul (%dx%d)ᵀ by %dx%d", ErrShape, m.rows, m.cols, other.rows, other.cols)
+	}
+	if dst.rows != m.cols || dst.cols != other.cols {
+		return fmt.Errorf("%w: dst %dx%d, want %dx%d", ErrShape, dst.rows, dst.cols, m.cols, other.cols)
+	}
+	if dst == m || dst == other {
+		return fmt.Errorf("%w: dst must not alias an operand", ErrShape)
+	}
+	tMulInto(dst, m, other)
+	return nil
+}
+
+// tMulInto accumulates aᵀ·b. The output is partitioned by rows (columns of
+// a); every block scans all rows of a and b, so the k-order of the
+// accumulation — and therefore the floating-point result — is identical to
+// the sequential loop.
+func tMulInto(dst, a, b *Dense) {
+	if !parallelWorthwhile(a.cols, a.rows*b.cols) {
+		tMulIntoBlock(dst, a, b, 0, a.cols)
+		return
+	}
+	ParallelRows(a.cols, a.rows*b.cols, func(lo, hi int) {
+		tMulIntoBlock(dst, a, b, lo, hi)
+	})
+}
+
+func tMulIntoBlock(dst, a, b *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		drow := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for j := range drow {
+			drow[j] = 0
+		}
+	}
+	for k := 0; k < a.rows; k++ {
+		arow := a.data[k*a.cols : (k+1)*a.cols]
+		brow := b.data[k*b.cols : (k+1)*b.cols]
+		for i := lo; i < hi; i++ {
+			av := arow[i]
 			if av == 0 {
 				continue
 			}
-			drow := out.data[i*out.cols : (i+1)*out.cols]
+			// Re-slice to len(brow) so the compiler can prove drow[j] is
+			// in bounds (dst.cols == b.cols is the caller's contract, but
+			// invisible here).
+			drow := dst.data[i*dst.cols:][:len(brow)]
 			for j, bv := range brow {
 				drow[j] += av * bv
 			}
 		}
 	}
-	return out, nil
 }
 
 // FrobeniusNorm returns ‖m‖_F.

@@ -12,6 +12,8 @@ import (
 type StreamPlan struct {
 	// LossRatio is the probability that a report is dropped in transit —
 	// the transport-level mechanism behind the paper's missing values.
+	// Valid range is [0, 1): every report lost would leave nothing to
+	// reconstruct from, so Validate rejects 1 and above.
 	LossRatio float64
 	// Seed drives the deterministic loss draw.
 	Seed int64

@@ -7,6 +7,7 @@ package tsdetect
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"itscs/internal/mat"
@@ -115,37 +116,52 @@ func Detect(s, sHat, avgV, d, e *mat.Dense, first bool, opt Options) (*mat.Dense
 		exists = mat.Ones(n, t)
 	}
 
+	// Rows are independent: each worker block owns a contiguous row range
+	// of the output and its own window scratch.
 	out := d.Clone()
 	tau := opt.Tau.Seconds()
 	w := opt.Window
-	window := make([]float64, 0, w)
-	for i := 0; i < n; i++ {
-		row := work.RowView(i)
-		eRow := exists.RowView(i)
-		vRow := avgV.RowView(i)
-		for j := 0; j < t; j++ {
-			if eRow[j] == 0 {
-				continue // first pass: nothing was observed here
-			}
-			l := windowStart(j, w, t)
-			window = window[:0]
-			for k := l; k < l+w; k++ {
-				if eRow[k] == 1 {
-					window = append(window, row[k])
+	var mu sync.Mutex
+	var firstErr error
+	mat.ParallelRows(n, t*w, func(lo, hi int) {
+		window := make([]float64, 0, w)
+		for i := lo; i < hi; i++ {
+			row := work.RowView(i)
+			eRow := exists.RowView(i)
+			vRow := avgV.RowView(i)
+			oRow := out.RowView(i)
+			for j := 0; j < t; j++ {
+				if eRow[j] == 0 {
+					continue // first pass: nothing was observed here
+				}
+				l := windowStart(j, w, t)
+				window = window[:0]
+				for k := l; k < l+w; k++ {
+					if eRow[k] == 1 {
+						window = append(window, row[k])
+					}
+				}
+				if len(window) == 0 {
+					continue
+				}
+				m, err := stat.MedianInPlace(window)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("tsdetect: window median: %w", err)
+					}
+					mu.Unlock()
+					return
+				}
+				delta := tolerance(vRow, l, w, tau, opt)
+				if math.Abs(row[j]-m) < delta {
+					oRow[j] = 0
 				}
 			}
-			if len(window) == 0 {
-				continue
-			}
-			m, err := stat.MedianInPlace(window)
-			if err != nil {
-				return nil, fmt.Errorf("tsdetect: window median: %w", err)
-			}
-			delta := tolerance(vRow, l, w, tau, opt)
-			if math.Abs(row[j]-m) < delta {
-				out.Set(i, j, 0)
-			}
 		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }

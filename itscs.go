@@ -119,7 +119,7 @@ func WithVariant(v Variant) Option {
 	}
 }
 
-// WithDetectionWindow sets the local-median window size (odd, default 9).
+// WithDetectionWindow sets the local-median window size (odd, default 13).
 func WithDetectionWindow(w int) Option {
 	return func(o *options) error {
 		o.cfg.Detect.Window = w
@@ -164,7 +164,7 @@ func WithLambdas(lambda1, lambda2 float64) Option {
 }
 
 // WithCheckThresholds sets Algorithm 3's clear/raise thresholds in meters
-// (defaults 300 and 800).
+// (defaults 300 and 600).
 func WithCheckThresholds(low, high float64) Option {
 	return func(o *options) error {
 		o.cfg.CheckLowMeters = low
