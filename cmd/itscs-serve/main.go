@@ -1,0 +1,209 @@
+// Command itscs-serve runs the I(TS,CS) framework as a long-lived
+// streaming service: participants upload location reports over the mcs TCP
+// transport, the pipeline engine slices each fleet's stream into sliding
+// windows and runs DETECT→CORRECT→CHECK on every window as it closes, and
+// an HTTP sidecar exposes health, metrics, and the newest per-fleet result.
+//
+// Usage:
+//
+//	itscs-serve [-ingest 127.0.0.1:7070] [-http 127.0.0.1:8080]
+//	            [-participants 158] [-window 240] [-hop 60] [-tau 30s]
+//	            [-workers 2] [-queue 16] [-max-fleets 64]
+//	            [-idle-timeout 2m] [-cold-start]
+//
+// HTTP endpoints:
+//
+//	GET /healthz         liveness probe
+//	GET /metrics         engine counters and latency histograms (JSON)
+//	GET /results         fleets with at least one report, sorted
+//	GET /results/{fleet} newest completed window result for the fleet
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"itscs/internal/mcs"
+	"itscs/internal/pipeline"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "itscs-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and serves until a signal or a listener failure. The
+// stop channel substitutes for signals in tests; nil means OS signals.
+func run(args []string, out io.Writer, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("itscs-serve", flag.ContinueOnError)
+	ingestAddr := fs.String("ingest", "127.0.0.1:7070", "TCP address for participant report ingest")
+	httpAddr := fs.String("http", "127.0.0.1:8080", "HTTP address for health, metrics and results")
+	participants := fs.Int("participants", 158, "participants per fleet (matrix rows)")
+	window := fs.Int("window", 240, "detection window width in slots")
+	hop := fs.Int("hop", 60, "window stride in slots")
+	tau := fs.Duration("tau", 30*time.Second, "slot duration")
+	workers := fs.Int("workers", 2, "detection worker pool size")
+	queue := fs.Int("queue", 16, "dispatch queue depth (drop-oldest beyond)")
+	maxFleets := fs.Int("max-fleets", 64, "maximum live fleet shards")
+	idle := fs.Duration("idle-timeout", mcs.DefaultIdleTimeout, "ingest connection idle limit (0 disables)")
+	coldStart := fs.Bool("cold-start", false, "disable cross-window warm starts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tau <= 0 {
+		return fmt.Errorf("slot duration must be positive, got %v", *tau)
+	}
+
+	cfg := pipeline.DefaultConfig()
+	cfg.Participants = *participants
+	cfg.WindowSlots = *window
+	cfg.HopSlots = *hop
+	cfg.Workers = *workers
+	cfg.QueueDepth = *queue
+	cfg.MaxFleets = *maxFleets
+	cfg.DisableWarmStart = *coldStart
+	cfg.Core.Detect.Tau = *tau
+	cfg.Core.Reconstruct.Tau = *tau
+
+	d, err := newDaemon(cfg, *ingestAddr, *httpAddr, *idle)
+	if err != nil {
+		return err
+	}
+	d.serve()
+	fmt.Fprintf(out, "itscs-serve: ingesting on %s, serving HTTP on %s\n", d.ingestAddr, d.httpBound)
+
+	if stop == nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		select {
+		case s := <-sig:
+			fmt.Fprintf(out, "itscs-serve: received %v, shutting down\n", s)
+		case err := <-d.fatal:
+			_ = d.close()
+			return err
+		}
+	} else {
+		select {
+		case <-stop:
+		case err := <-d.fatal:
+			_ = d.close()
+			return err
+		}
+	}
+	return d.close()
+}
+
+// daemon wires the engine to its two listeners.
+type daemon struct {
+	engine     *pipeline.Engine
+	ingest     *mcs.Server
+	ingestAddr net.Addr
+	http       *http.Server
+	httpLn     net.Listener
+	httpBound  net.Addr
+	started    time.Time
+	fatal      chan error
+}
+
+func newDaemon(cfg pipeline.Config, ingestAddr, httpAddr string, idle time.Duration) (*daemon, error) {
+	engine, err := pipeline.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &daemon{
+		engine:  engine,
+		ingest:  mcs.NewServer(engine),
+		started: time.Now(),
+		fatal:   make(chan error, 2),
+	}
+	d.ingest.IdleTimeout = idle
+	if d.ingestAddr, err = d.ingest.Listen(ingestAddr); err != nil {
+		engine.Close()
+		return nil, err
+	}
+	if d.httpLn, err = net.Listen("tcp", httpAddr); err != nil {
+		_ = d.ingest.Close()
+		engine.Close()
+		return nil, fmt.Errorf("http listen: %w", err)
+	}
+	d.httpBound = d.httpLn.Addr()
+	d.http = &http.Server{Handler: d.mux(), ReadHeaderTimeout: 10 * time.Second}
+	return d, nil
+}
+
+// serve starts both listeners; failures surface on d.fatal.
+func (d *daemon) serve() {
+	go func() {
+		if err := d.ingest.Serve(); err != nil {
+			d.fatal <- fmt.Errorf("ingest: %w", err)
+		}
+	}()
+	go func() {
+		if err := d.http.Serve(d.httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			d.fatal <- fmt.Errorf("http: %w", err)
+		}
+	}()
+}
+
+// close shuts the transport down first so no report arrives after the
+// engine stops, then drains the engine's queued windows.
+func (d *daemon) close() error {
+	err := d.ingest.Close()
+	if herr := d.http.Close(); err == nil {
+		err = herr
+	}
+	d.engine.Close()
+	return err
+}
+
+func (d *daemon) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ok",
+			"uptime_s": time.Since(d.started).Seconds(),
+		})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, d.engine.Stats())
+	})
+	mux.HandleFunc("GET /results", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"fleets": d.engine.Fleets()})
+	})
+	mux.HandleFunc("GET /results/{fleet}", func(w http.ResponseWriter, r *http.Request) {
+		fleet := r.PathValue("fleet")
+		res, err := d.engine.Latest(fleet)
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+			return
+		}
+		if res == nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{
+				"error": fmt.Sprintf("fleet %q has no completed window yet", fleet),
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"itscs/internal/corrupt"
+	"itscs/internal/mcs"
+	"itscs/internal/pipeline"
+	"itscs/internal/trace"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-window", "0"},
+		{"-hop", "300"}, // exceeds default window
+		{"-tau", "0s"},
+		{"-participants", "-3"},
+		{"-not-a-flag"},
+	} {
+		if err := run(args, io.Discard, make(chan struct{})); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+// TestDaemonEndToEnd boots the daemon on ephemeral ports, streams a small
+// corrupted fleet through the TCP ingest, and reads the detection result
+// back over HTTP.
+func TestDaemonEndToEnd(t *testing.T) {
+	const (
+		n = 24
+		w = 60
+		h = 20
+	)
+	cfg := pipeline.DefaultConfig()
+	cfg.Participants = n
+	cfg.WindowSlots = w
+	cfg.HopSlots = h
+	cfg.Workers = 1
+	d, err := newDaemon(cfg, "127.0.0.1:0", "127.0.0.1:0", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.serve()
+	defer func() {
+		if err := d.close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	tcfg := trace.DefaultConfig()
+	tcfg.Participants = n
+	tcfg.Slots = w + 2*h + 1
+	fleet, err := trace.Generate(tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := corrupt.DefaultPlan()
+	plan.MissingRatio = 0.1
+	plan.FaultyRatio = 0.1
+	res, err := corrupt.Apply(plan, fleet.X, fleet.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []mcs.Report
+	for s := 0; s < tcfg.Slots; s++ {
+		for i := 0; i < n; i++ {
+			if res.Existence.At(i, s) == 0 {
+				continue
+			}
+			reports = append(reports, mcs.Report{
+				Fleet: "cab", Participant: i, Slot: s,
+				X: res.SX.At(i, s), Y: res.SY.At(i, s),
+				VX: fleet.VX.At(i, s), VY: fleet.VY.At(i, s),
+			})
+		}
+	}
+	acked, err := mcs.SendReports(context.Background(), d.ingestAddr.String(), reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acked != len(reports) {
+		t.Fatalf("acked %d of %d reports", acked, len(reports))
+	}
+
+	base := "http://" + d.httpBound.String()
+
+	// The first window closes during the stream; poll until it has been
+	// processed and published.
+	var wr pipeline.WindowResult
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		status, err := getJSON(base+"/results/cab", &wr)
+		if err == nil && status == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no window result (last status %d, err %v)", status, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if wr.Fleet != "cab" || wr.EndSlot-wr.StartSlot != w || wr.Observed == 0 {
+		t.Errorf("window result = %+v", wr)
+	}
+	if wr.Flagged != len(wr.Flags) {
+		t.Errorf("flagged %d != len(flags) %d", wr.Flagged, len(wr.Flags))
+	}
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	if status, err := getJSON(base+"/healthz", &health); err != nil || status != http.StatusOK || health.Status != "ok" {
+		t.Errorf("healthz: status %d err %v body %+v", status, err, health)
+	}
+
+	var stats pipeline.Stats
+	if status, err := getJSON(base+"/metrics", &stats); err != nil || status != http.StatusOK {
+		t.Fatalf("metrics: status %d err %v", status, err)
+	}
+	if stats.Ingested != uint64(len(reports)) {
+		t.Errorf("metrics ingested = %d, want %d", stats.Ingested, len(reports))
+	}
+	if stats.WindowsProcessed < 1 {
+		t.Errorf("metrics windows_processed = %d, want >= 1", stats.WindowsProcessed)
+	}
+
+	var fleets struct {
+		Fleets []string `json:"fleets"`
+	}
+	if status, err := getJSON(base+"/results", &fleets); err != nil || status != http.StatusOK {
+		t.Fatalf("results index: status %d err %v", status, err)
+	}
+	if len(fleets.Fleets) != 1 || fleets.Fleets[0] != "cab" {
+		t.Errorf("fleets = %v, want [cab]", fleets.Fleets)
+	}
+
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	if status, err := getJSON(base+"/results/none", &errBody); err != nil || status != http.StatusNotFound {
+		t.Errorf("unknown fleet: status %d err %v", status, err)
+	}
+}
+
+func getJSON(url string, v any) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return resp.StatusCode, err
+	}
+	return resp.StatusCode, nil
+}

@@ -1,13 +1,12 @@
-// Streaming: a live mobile-crowdsensing pipeline.
+// Streaming: continuous sliding-window fault detection.
 //
-// This example wires together the full system the paper assumes: a fleet
-// of taxis streams location reports over TCP to a collection server with
-// 15% transport loss; the server slots reports into sensory matrices; and
-// once the window closes, the batch is handed to I(TS,CS) for fault
-// detection and repair.
-//
-// It demonstrates the bundled collection substrate (internal/mcs) together
-// with the public detection API.
+// This example wires up the always-on service that the itscs-serve daemon
+// runs: a fleet of taxis uploads corrupted location reports over TCP into
+// the pipeline engine, which slices the stream into overlapping sliding
+// windows (window W, hop H), runs DETECT→CORRECT→CHECK on every window as
+// it closes — warm-starting CORRECT from the previous window's
+// factorization — and publishes each result to a subscription, where it is
+// scored against the ground-truth corruption.
 //
 //	go run ./examples/streaming
 package main
@@ -15,66 +14,108 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
-	"math"
+	"os"
 	"time"
 
-	"itscs"
-	"itscs/internal/mat"
+	"itscs/internal/corrupt"
 	"itscs/internal/mcs"
+	"itscs/internal/metrics"
+	"itscs/internal/pipeline"
 	"itscs/internal/trace"
 )
 
+// params sizes the scenario; the smoke test shrinks it.
+type params struct {
+	participants int
+	slots        int // total streamed slots
+	window       int // W: slots per detection window
+	hop          int // H: stride between windows
+	missing      float64
+	faulty       float64
+}
+
 func main() {
-	if err := run(); err != nil {
+	p := params{
+		participants: 40,
+		slots:        240,
+		window:       120,
+		hop:          40,
+		missing:      0.15,
+		faulty:       0.1,
+	}
+	if err := run(p, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	const participants, slots = 40, 120
-
-	// Simulated fleet (the "devices").
+func run(p params, out io.Writer) error {
+	// Simulated fleet with transport loss and kilometer-scale faults.
 	tc := trace.DefaultConfig()
-	tc.Participants = participants
-	tc.Slots = slots
+	tc.Participants = p.participants
+	tc.Slots = p.slots
 	tc.Seed = 7
 	fleet, err := trace.Generate(tc)
 	if err != nil {
 		return err
 	}
-
-	// Collection backend.
-	collector, err := mcs.NewCollector(participants, slots)
+	plan := corrupt.DefaultPlan()
+	plan.MissingRatio = p.missing
+	plan.FaultyRatio = p.faulty
+	corrupted, err := corrupt.Apply(plan, fleet.X, fleet.Y)
 	if err != nil {
 		return err
 	}
-	server := mcs.NewServer(collector)
+
+	// The streaming engine: one worker keeps windows in order, so every
+	// window after the first can warm-start from its predecessor.
+	cfg := pipeline.DefaultConfig()
+	cfg.Participants = p.participants
+	cfg.WindowSlots = p.window
+	cfg.HopSlots = p.hop
+	cfg.Workers = 1
+	engine, err := pipeline.New(cfg)
+	if err != nil {
+		return err
+	}
+	// The buffer must hold every expected window: results are read only
+	// after the stream ends.
+	results, cancel := engine.Subscribe(p.slots / p.hop)
+	defer cancel()
+
+	// The TCP ingest front end, as run by itscs-serve.
+	server := mcs.NewServer(engine)
 	addr, err := server.Listen("127.0.0.1:0")
 	if err != nil {
 		return err
 	}
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- server.Serve() }()
-	fmt.Printf("collection server listening on %s\n", addr)
+	fmt.Fprintf(out, "ingest server listening on %s (window %d slots, hop %d)\n",
+		addr, p.window, p.hop)
 
-	// Fleet upload with 15% transport loss — the source of missing values.
-	streamer, err := mcs.NewStreamer(fleet.X, fleet.Y, fleet.VX, fleet.VY, mcs.StreamPlan{
-		LossRatio: 0.15,
-		Seed:      7,
-	})
-	if err != nil {
-		return err
+	// The fleet uploads every surviving report in slot order.
+	var reports []mcs.Report
+	for s := 0; s < p.slots; s++ {
+		for i := 0; i < p.participants; i++ {
+			if corrupted.Existence.At(i, s) == 0 {
+				continue
+			}
+			reports = append(reports, mcs.Report{
+				Fleet: "taxi", Participant: i, Slot: s,
+				X: corrupted.SX.At(i, s), Y: corrupted.SY.At(i, s),
+				VX: fleet.VX.At(i, s), VY: fleet.VY.At(i, s),
+			})
+		}
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
-	defer cancel()
-	reports := streamer.Reports()
+	ctx, cancelSend := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancelSend()
 	acked, err := mcs.SendReports(ctx, addr.String(), reports)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("fleet uploaded %d reports (%d acknowledged), missing ratio %.1f%%\n",
-		len(reports), acked, collector.MissingRatio()*100)
+	fmt.Fprintf(out, "fleet uploaded %d reports (%d acknowledged)\n", len(reports), acked)
 
 	if err := server.Close(); err != nil {
 		return err
@@ -82,55 +123,50 @@ func run() error {
 	if err := <-serveDone; err != nil {
 		return err
 	}
-
-	// Window closed: snapshot the batch and repair it.
-	batch := collector.Snapshot()
-	ds := itscs.Dataset{
-		X:  toRowsWithNaN(batch.SX, batch.Existence),
-		Y:  toRowsWithNaN(batch.SY, batch.Existence),
-		VX: toRows(batch.VX),
-		VY: toRows(batch.VY),
-	}
-	res, err := itscs.Run(ds)
-	if err != nil {
+	// The stream has ended: force the tail window out, then let the engine
+	// drain its queue; Close also ends the subscription, terminating the
+	// loop below once the buffered results are consumed.
+	if err := engine.Flush("taxi"); err != nil {
 		return err
 	}
+	engine.Close()
 
-	// Score the repair of the dropped reports against the fleet's truth.
-	var maeSum float64
-	var repaired int
-	for i := 0; i < participants; i++ {
-		for j := 0; j < slots; j++ {
-			if !res.Missing[i][j] {
-				continue
-			}
-			dx := res.X[i][j] - fleet.X.At(i, j)
-			dy := res.Y[i][j] - fleet.Y.At(i, j)
-			maeSum += math.Hypot(dx, dy)
-			repaired++
+	// Score each window against the ground-truth corruption. A flushed tail
+	// window may extend past the generated timeline; score only the slots
+	// that were actually streamed (the rest are all-missing anyway).
+	for r := range results {
+		end := r.EndSlot
+		if end > p.slots {
+			end = p.slots
 		}
+		d, err := r.Output.Detection.Slice(0, p.participants, 0, end-r.StartSlot)
+		if err != nil {
+			return err
+		}
+		f, err := corrupted.Faulty.Slice(0, p.participants, r.StartSlot, end)
+		if err != nil {
+			return err
+		}
+		e, err := corrupted.Existence.Slice(0, p.participants, r.StartSlot, end)
+		if err != nil {
+			return err
+		}
+		conf, err := metrics.Compare(d, f, e)
+		if err != nil {
+			return err
+		}
+		start := "cold"
+		if r.WarmStarted {
+			start = "warm"
+		}
+		fmt.Fprintf(out,
+			"window %d [%4d,%4d): %4d flagged, precision %.3f, recall %.3f, %s start, %d iterations, %.0f ms\n",
+			r.Seq, r.StartSlot, r.EndSlot, r.Flagged,
+			conf.Precision(), conf.Recall(), start, r.Iterations, r.RunMS)
 	}
-	fmt.Printf("repaired %d dropped reports, MAE %.1f m (converged=%v, %d iterations)\n",
-		repaired, maeSum/float64(repaired), res.Converged, res.Iterations)
+
+	st := engine.Stats()
+	fmt.Fprintf(out, "processed %d windows (%d warm-started, %d dropped under backpressure)\n",
+		st.WindowsProcessed, st.WarmStarts, st.WindowsDropped)
 	return nil
-}
-
-func toRows(m *mat.Dense) [][]float64 {
-	out := make([][]float64, m.Rows())
-	for i := range out {
-		out[i] = m.Row(i)
-	}
-	return out
-}
-
-func toRowsWithNaN(m, existence *mat.Dense) [][]float64 {
-	out := toRows(m)
-	for i := range out {
-		for j := range out[i] {
-			if existence.At(i, j) == 0 {
-				out[i][j] = math.NaN()
-			}
-		}
-	}
-	return out
 }

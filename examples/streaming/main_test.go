@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestStreamingExampleSmoke runs the example end to end on a shrunken
+// fleet; it is sized to stay fast enough for -short CI runs.
+func TestStreamingExampleSmoke(t *testing.T) {
+	p := params{
+		participants: 24,
+		slots:        101,
+		window:       60,
+		hop:          20,
+		missing:      0.1,
+		faulty:       0.1,
+	}
+	var buf bytes.Buffer
+	if err := run(p, &buf); err != nil {
+		t.Fatalf("example failed: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"fleet uploaded",
+		"window 0 [   0,  60)",
+		"warm start",
+		"processed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "0 windows") {
+		t.Errorf("no windows processed:\n%s", out)
+	}
+}

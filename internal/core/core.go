@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"itscs/internal/csrecon"
 	"itscs/internal/mat"
@@ -120,6 +121,13 @@ type Snapshot struct {
 	ChangedFlags int
 }
 
+// WarmState carries the per-axis CORRECT factorizations of a completed run
+// so a later run over overlapping data (e.g. the next sliding window) can
+// warm-start its reconstructions instead of cold-starting from SVD.
+type WarmState struct {
+	X, Y csrecon.Factors
+}
+
 // Output is the framework result.
 type Output struct {
 	// Detection is the final Detection Matrix D restricted to observed
@@ -133,10 +141,37 @@ type Output struct {
 	Converged bool
 	// History holds per-iteration snapshots when Config.KeepHistory is set.
 	History []Snapshot
+	// Warm holds the final CORRECT factorizations, ready to seed RunWarm on
+	// the next overlapping window.
+	Warm *WarmState
+	// WarmStarted reports whether the first CORRECT round consumed the
+	// caller-provided warm state (false when it fell back to cold SVD init,
+	// e.g. on a shape or rank change).
+	WarmStarted bool
+	// DetectDuration, CorrectDuration and CheckDuration are the cumulative
+	// wall-clock times spent in each phase across all outer rounds.
+	DetectDuration  time.Duration
+	CorrectDuration time.Duration
+	CheckDuration   time.Duration
 }
 
-// Run executes I(TS,CS) on the input.
+// Run executes I(TS,CS) on the input. Every CORRECT round cold-starts its
+// reconstructions; see RunWarm for the streaming entry point.
 func Run(cfg Config, in Input) (*Output, error) {
+	return run(cfg, in, nil, false)
+}
+
+// RunWarm executes I(TS,CS) with warm-started reconstructions: the first
+// CORRECT round seeds ASD from warm (when compatible; pass nil to cold-start
+// the first round), and every later round within the run seeds from the
+// previous round's factors — the detection mask changes only slightly
+// between rounds, so the previous factorization is close to the new
+// optimum. Output.Warm carries the final factors for the next window.
+func RunWarm(cfg Config, in Input, warm *WarmState) (*Output, error) {
+	return run(cfg, in, warm, true)
+}
+
+func run(cfg Config, in Input, warm *WarmState, carry bool) (*Output, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -150,6 +185,7 @@ func Run(cfg Config, in Input) (*Output, error) {
 
 	// DETECT, first pass: D starts all ones; the detector clears what
 	// tests normal, minimizing false negatives (Algorithm 1).
+	phaseStart := time.Now()
 	ones := mat.Ones(n, t)
 	dx, err := tsdetect.Detect(in.SX, nil, avgVX, ones, in.Existence, true, cfg.Detect)
 	if err != nil {
@@ -165,22 +201,31 @@ func Run(cfg Config, in Input) (*Output, error) {
 	}
 
 	out := &Output{}
+	out.DetectDuration += time.Since(phaseStart)
+	// Per-axis warm factors: seeded from the caller's state, then (in the
+	// carry mode of RunWarm) refreshed with each round's result.
+	var warmX, warmY *csrecon.Factors
+	if warm != nil {
+		warmX, warmY = &warm.X, &warm.Y
+	}
 	var xHat, yHat *mat.Dense
 	var prevChecked *mat.Dense
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
 		// CORRECT: reconstruct from the trusted cells B = E ∧ ¬D.
 		// The two axes are independent; run them concurrently.
+		phaseStart = time.Now()
 		b := gbim(in.Existence, d)
+		var resX, resY *csrecon.Result
 		var errX, errY error
 		var wg sync.WaitGroup
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			xHat, errX = reconstructAxis(cfg, in.SX, b, avgVX)
+			resX, errX = reconstructAxis(cfg, in.SX, b, avgVX, warmX)
 		}()
 		go func() {
 			defer wg.Done()
-			yHat, errY = reconstructAxis(cfg, in.SY, b, avgVY)
+			resY, errY = reconstructAxis(cfg, in.SY, b, avgVY, warmY)
 		}()
 		wg.Wait()
 		if errX != nil {
@@ -189,10 +234,20 @@ func Run(cfg Config, in Input) (*Output, error) {
 		if errY != nil {
 			return nil, fmt.Errorf("core: reconstruct Y: %w", errY)
 		}
+		xHat, yHat = resX.SHat, resY.SHat
+		if iter == 0 {
+			out.WarmStarted = resX.WarmStarted || resY.WarmStarted
+		}
+		out.Warm = &WarmState{X: resX.Factors, Y: resY.Factors}
+		if carry {
+			warmX, warmY = &out.Warm.X, &out.Warm.Y
+		}
+		out.CorrectDuration += time.Since(phaseStart)
 
 		// CHECK: reconcile flags against the reconstruction (Algorithm 3),
 		// per axis, then union — a cell stays flagged if either axis
 		// disagrees with the reconstruction.
+		phaseStart = time.Now()
 		highX, highY := cfg.CheckHighMeters, cfg.CheckHighMeters
 		if !cfg.DisableAdaptiveCheck {
 			highX = adaptiveHigh(in.SX, xHat, b, cfg.CheckHighMeters)
@@ -223,6 +278,7 @@ func Run(cfg Config, in Input) (*Output, error) {
 			})
 		}
 		d = next
+		out.CheckDuration += time.Since(phaseStart)
 		if changed == 0 {
 			out.Converged = true
 			break
@@ -230,6 +286,7 @@ func Run(cfg Config, in Input) (*Output, error) {
 
 		// DETECT again with the reconstruction standing in for missing
 		// values (Algorithm 1 lines 1-5).
+		phaseStart = time.Now()
 		dx, err = tsdetect.Detect(in.SX, xHat, avgVX, d, in.Existence, false, cfg.Detect)
 		if err != nil {
 			return nil, fmt.Errorf("core: detect X: %w", err)
@@ -242,6 +299,7 @@ func Run(cfg Config, in Input) (*Output, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: union detections: %w", err)
 		}
+		out.DetectDuration += time.Since(phaseStart)
 	}
 
 	// prevChecked holds the last post-Check detection — the framework's
@@ -255,11 +313,11 @@ func Run(cfg Config, in Input) (*Output, error) {
 
 // reconstructAxis runs CS reconstruction for one axis, passing the average
 // velocity only to the variant that uses it.
-func reconstructAxis(cfg Config, s, b, avgV *mat.Dense) (*mat.Dense, error) {
-	if cfg.Reconstruct.Variant == csrecon.VariantVelocityTemporal {
-		return csrecon.Reconstruct(s, b, avgV, cfg.Reconstruct)
+func reconstructAxis(cfg Config, s, b, avgV *mat.Dense, warm *csrecon.Factors) (*csrecon.Result, error) {
+	if cfg.Reconstruct.Variant != csrecon.VariantVelocityTemporal {
+		avgV = nil
 	}
-	return csrecon.Reconstruct(s, b, nil, cfg.Reconstruct)
+	return csrecon.ReconstructWarm(s, b, avgV, warm, cfg.Reconstruct)
 }
 
 // gbim computes the Generalized Binary Index Matrix of Definition 7:

@@ -91,10 +91,11 @@ func RunScalar(cfg Config, in ScalarInput) (*ScalarOutput, error) {
 	var prevChecked *mat.Dense
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
 		b := gbim(in.Existence, d)
-		sHat, err = reconstructAxis(cfg, in.S, b, avgRate)
+		res, err := reconstructAxis(cfg, in.S, b, avgRate, nil)
 		if err != nil {
 			return nil, fmt.Errorf("core: scalar reconstruct: %w", err)
 		}
+		sHat = res.SHat
 
 		high := cfg.CheckHighMeters
 		if !cfg.DisableAdaptiveCheck {

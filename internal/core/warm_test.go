@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestRunWarmCarriesAndReportsFactors exercises the streaming entry point:
+// a cold RunWarm publishes factors, a second RunWarm seeded with them
+// reports the warm start, and detection quality matches the batch path.
+func TestRunWarmCarriesAndReportsFactors(t *testing.T) {
+	fleet, res := fixture(t, 30, 90, 0.15, 0.1)
+	cfg := DefaultConfig()
+	in := inputFrom(fleet, res)
+
+	first, err := RunWarm(cfg, in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.WarmStarted {
+		t.Error("cold RunWarm reported WarmStarted")
+	}
+	if first.Warm == nil || first.Warm.X.L == nil || first.Warm.Y.R == nil {
+		t.Fatal("RunWarm did not publish factors")
+	}
+	if first.DetectDuration <= 0 || first.CorrectDuration <= 0 || first.CheckDuration <= 0 {
+		t.Errorf("phase durations not recorded: detect=%v correct=%v check=%v",
+			first.DetectDuration, first.CorrectDuration, first.CheckDuration)
+	}
+
+	second, err := RunWarm(cfg, in, first.Warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.WarmStarted {
+		t.Error("seeded RunWarm did not warm-start")
+	}
+
+	// Batch Run on the same input also publishes factors (cold path).
+	batch, err := Run(cfg, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.WarmStarted {
+		t.Error("Run reported WarmStarted")
+	}
+	if batch.Warm == nil {
+		t.Error("Run did not publish factors")
+	}
+
+	// The warm-started run must find the same faults as the batch run:
+	// faults are kilometers-scale while reconstruction-path differences are
+	// tens of meters, so the detection matrices should agree almost
+	// everywhere.
+	n, slots := batch.Detection.Dims()
+	var diff int
+	for i := 0; i < n; i++ {
+		br := batch.Detection.RowView(i)
+		wr := second.Detection.RowView(i)
+		for j := 0; j < slots; j++ {
+			if br[j] != wr[j] {
+				diff++
+			}
+		}
+	}
+	if frac := float64(diff) / float64(n*slots); frac > 0.01 {
+		t.Errorf("warm and batch detections differ on %.2f%% of cells", 100*frac)
+	}
+}

@@ -156,6 +156,13 @@ func Reconstruct(s, b, avgV *mat.Dense, opt Options) (*mat.Dense, error) {
 type Result struct {
 	// SHat is the reconstructed matrix L·Rᵀ.
 	SHat *mat.Dense
+	// Factors holds the final factorization (SHat = L·Rᵀ). It can be fed
+	// back into ReconstructWarm to warm-start a later reconstruction of an
+	// overlapping or re-masked problem.
+	Factors Factors
+	// WarmStarted reports whether the sweeps started from caller-provided
+	// factors rather than the truncated-SVD (or random) initialization.
+	WarmStarted bool
 	// Iterations is the number of ASD sweeps performed.
 	Iterations int
 	// Objective is the final value of the optimization objective.
@@ -164,8 +171,44 @@ type Result struct {
 	ObjectiveTrace []float64
 }
 
+// Factors is an L·Rᵀ factorization: L is n×r, R is t×r. The zero value
+// means "no factors" and always falls back to a cold start.
+type Factors struct {
+	L, R *mat.Dense
+}
+
+// usableFor reports whether the factors can seed an n×t reconstruction
+// under opt: both present, shapes consistent, and the rank compatible with
+// an explicitly requested opt.Rank. A mismatch is not an error — streaming
+// callers hit it whenever the fleet roster, window size, or configured rank
+// changes — so the caller falls back to the cold initialization instead.
+func (f Factors) usableFor(n, t int, opt Options) bool {
+	if f.L == nil || f.R == nil {
+		return false
+	}
+	ln, lr := f.L.Dims()
+	rt, rr := f.R.Dims()
+	if ln != n || rt != t || lr != rr || lr < 1 || lr > minInt(n, t) {
+		return false
+	}
+	if opt.Rank > 0 && lr != opt.Rank {
+		return false
+	}
+	return true
+}
+
 // ReconstructDetailed is Reconstruct with convergence diagnostics.
 func ReconstructDetailed(s, b, avgV *mat.Dense, opt Options) (*Result, error) {
+	return ReconstructWarm(s, b, avgV, nil, opt)
+}
+
+// ReconstructWarm is ReconstructDetailed with an optional warm start: when
+// warm holds factors of a compatible shape, the ASD sweeps start from a
+// copy of them instead of the truncated-SVD initialization, which lets a
+// sliding-window caller reuse the previous window's factorization. On any
+// shape or rank incompatibility (or nil warm) it silently falls back to
+// the cold initialization; Result.WarmStarted reports which path ran.
+func ReconstructWarm(s, b, avgV *mat.Dense, warm *Factors, opt Options) (*Result, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -180,11 +223,25 @@ func ReconstructDetailed(s, b, avgV *mat.Dense, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	l, r, err := initFactors(s, b, opt)
+	var l, r *mat.Dense
+	warmStarted := false
+	if warm != nil && warm.usableFor(n, t, opt) {
+		// The sweeps mutate the factors in place; copy so the caller's
+		// previous-window result stays intact.
+		l, r = warm.L.Clone(), warm.R.Clone()
+		warmStarted = true
+	} else {
+		l, r, err = initFactors(s, b, opt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := prob.run(l, r, opt)
 	if err != nil {
 		return nil, err
 	}
-	return prob.run(l, r, opt)
+	res.WarmStarted = warmStarted
+	return res, nil
 }
 
 // problem precomputes the constant pieces of the objective.
@@ -547,7 +604,13 @@ func (p *problem) run(l, r *mat.Dense, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("csrecon: assemble reconstruction: %w", err)
 	}
-	return &Result{SHat: sHat, Iterations: iters, Objective: obj, ObjectiveTrace: trace}, nil
+	return &Result{
+		SHat:           sHat,
+		Factors:        Factors{L: l, R: r},
+		Iterations:     iters,
+		Objective:      obj,
+		ObjectiveTrace: trace,
+	}, nil
 }
 
 // residuals computes E1 = (LRᵀ − S)∘B and, when the stability term is

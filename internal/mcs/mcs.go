@@ -24,9 +24,15 @@ import (
 
 // Report is a single location upload from one participant for one slot.
 type Report struct {
+	// Fleet names the shard the report belongs to. The batch Collector
+	// ignores it; the streaming pipeline routes on it. Empty selects the
+	// receiver's default fleet.
+	Fleet string `json:"fleet,omitempty"`
 	// Participant is the uploader's dense identifier in [0, participants).
 	Participant int `json:"participant"`
-	// Slot is the time-slot index in [0, slots).
+	// Slot is the time-slot index in [0, slots). Streaming sinks accept any
+	// non-negative slot and treat it as an absolute position on the
+	// timeline.
 	Slot int `json:"slot"`
 	// X, Y are the reported coordinates in meters.
 	X float64 `json:"x"`
@@ -51,6 +57,14 @@ func (r Report) Validate(participants, slots int) error {
 // holds a report. The first write wins; later uploads are rejected so a
 // malicious participant cannot overwrite accepted data.
 var ErrDuplicateReport = errors.New("mcs: duplicate report")
+
+// Ingestor consumes location reports. Collector implements it for one-shot
+// batch collection; the streaming pipeline implements it for continuous
+// sliding-window detection. Implementations must be safe for concurrent
+// use — Server calls Ingest from one goroutine per connection.
+type Ingestor interface {
+	Ingest(Report) error
+}
 
 // Collector assembles reports into the matrices the framework consumes.
 // It is safe for concurrent use.

@@ -15,16 +15,27 @@ import (
 // immediatePast returns a deadline that cancels blocking I/O immediately.
 func immediatePast() time.Time { return time.Unix(1, 0) }
 
-// Server exposes a Collector over line-delimited JSON on TCP. Each
-// connection may stream any number of reports; the server replies to every
-// line with "ok\n" or "err <reason>\n", giving participants upload
-// acknowledgement as in a real MCS backend.
+// DefaultIdleTimeout is the per-connection idle limit applied by NewServer:
+// a client that delivers no complete report line for this long is
+// disconnected, so dead clients cannot hold goroutines and connection
+// slots forever.
+const DefaultIdleTimeout = 2 * time.Minute
+
+// Server exposes an Ingestor (a batch Collector or the streaming pipeline)
+// over line-delimited JSON on TCP. Each connection may stream any number of
+// reports; the server replies to every line with "ok\n" or "err <reason>\n",
+// giving participants upload acknowledgement as in a real MCS backend.
 //
 // Start the server with Serve (usually in a goroutine) and stop it with
 // Close, which stops accepting, closes live connections, and waits for the
 // connection handlers to drain.
 type Server struct {
-	collector *Collector
+	ingestor Ingestor
+
+	// IdleTimeout bounds how long a connection may sit without delivering a
+	// complete report line before it is dropped. Zero disables the limit.
+	// Set it before Serve; NewServer initializes it to DefaultIdleTimeout.
+	IdleTimeout time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -33,11 +44,12 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
-// NewServer wraps a collector.
-func NewServer(c *Collector) *Server {
+// NewServer wraps an ingestor.
+func NewServer(c Ingestor) *Server {
 	return &Server{
-		collector: c,
-		conns:     make(map[net.Conn]struct{}),
+		ingestor:    c,
+		IdleTimeout: DefaultIdleTimeout,
+		conns:       make(map[net.Conn]struct{}),
 	}
 }
 
@@ -139,20 +151,29 @@ func (s *Server) handle(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
 	w := bufio.NewWriter(conn)
-	for sc.Scan() {
+	for {
+		// Refresh the read deadline before every line: a client must keep
+		// delivering complete reports within IdleTimeout or be dropped, so a
+		// stalled or dead peer cannot pin its handler goroutine forever.
+		if s.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
+		if !sc.Scan() {
+			break
+		}
 		var r Report
 		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
 			writeLine(w, "err bad json")
 			continue
 		}
-		if err := s.collector.Ingest(r); err != nil {
+		if err := s.ingestor.Ingest(r); err != nil {
 			writeLine(w, "err "+err.Error())
 			continue
 		}
 		writeLine(w, "ok")
 	}
-	// Scanner errors (including closed connections) end the stream; the
-	// participant will reconnect and retry in a real deployment.
+	// Scanner errors (timeouts and closed connections included) end the
+	// stream; the participant will reconnect and retry in a real deployment.
 }
 
 func writeLine(w *bufio.Writer, line string) {

@@ -2,6 +2,14 @@
 // detection precision/recall against the ground-truth faulty matrix, and
 // the reconstruction Mean Absolute Error of Eq. (29) over the cells that
 // were missing or detected as faulty.
+//
+// Every derived measure is a total function: a zero denominator resolves
+// to its vacuous value — precision and recall 1 (no chance to be wrong,
+// none missed), false-positive rate 0 (no clean cell to misflag), MAE 0
+// (no qualifying cell) — never NaN. Streaming consumers aggregate these
+// rates across many windows, including degenerate ones (all-missing masks,
+// fault-free windows), so they must be safe to average without filtering
+// non-finite values.
 package metrics
 
 import (

@@ -1,0 +1,668 @@
+// Package pipeline turns the one-shot I(TS,CS) batch loop into a continuous
+// streaming service: it sits between the mcs collection substrate and the
+// core DETECT→CORRECT→CHECK engine, assembling per-fleet sliding windows
+// from individual location reports and running detection on every window as
+// it closes.
+//
+// Reports are routed by fleet ID into per-fleet ring buffers holding the
+// four sensory matrices (X, Y, VX, VY) plus the existence mask. When a
+// report's slot passes the open window's far edge the window [start,
+// start+WindowSlots) is snapshotted, the buffer slides forward by HopSlots,
+// and the snapshot is dispatched to a bounded worker pool. Workers run the
+// full core loop and warm-start CORRECT with the fleet's previous window
+// factorization (consecutive windows overlap by WindowSlots−HopSlots
+// columns, and even where the carried subspace has rotated the warm start
+// still skips the O(n·t²) SVD init). Backpressure is drop-oldest: when the
+// dispatch queue is full the stalest window is discarded and counted, so a
+// slow detector degrades to coarser coverage instead of unbounded memory.
+// Results fan out through a subscription API and are retained per fleet for
+// polling; Stats exposes counters and per-phase latency histograms.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"itscs/internal/core"
+	"itscs/internal/mat"
+	"itscs/internal/mcs"
+)
+
+// Errors reported by Ingest and the result accessors.
+var (
+	// ErrClosed is returned once the engine has been Closed.
+	ErrClosed = errors.New("pipeline: engine closed")
+	// ErrLateReport marks a report whose slot falls before its fleet's
+	// current window start; the window it belonged to has already closed.
+	ErrLateReport = errors.New("pipeline: late report")
+	// ErrTooManyFleets is returned when a report names a fleet that would
+	// exceed Config.MaxFleets.
+	ErrTooManyFleets = errors.New("pipeline: too many fleets")
+	// ErrUnknownFleet is returned by Latest and Flush for a fleet that has
+	// never reported.
+	ErrUnknownFleet = errors.New("pipeline: unknown fleet")
+)
+
+// maxCatchUpCloses bounds how many windows a single report may close before
+// the shard fast-forwards past the gap, so one far-future slot cannot stall
+// its ingest goroutine snapshotting hundreds of (mostly empty) windows.
+const maxCatchUpCloses = 8
+
+// Config parameterizes the streaming engine.
+type Config struct {
+	// Participants is the fixed row count of every fleet's matrices.
+	Participants int
+	// WindowSlots is the width W of each detection window in slots.
+	WindowSlots int
+	// HopSlots is the stride H between consecutive windows, 0 < H ≤ W.
+	// Consecutive windows overlap by W−H slots.
+	HopSlots int
+	// Workers is the size of the detection worker pool (default 2; the
+	// core loop already parallelizes internally across row blocks).
+	Workers int
+	// QueueDepth bounds the dispatch queue between window close and the
+	// worker pool (default 16). When full, the oldest queued window is
+	// dropped and counted.
+	QueueDepth int
+	// MaxFleets bounds how many fleet shards may be materialized
+	// (default 64); each shard holds five Participants×(W+H) matrices.
+	MaxFleets int
+	// DisableWarmStart makes every window cold-start CORRECT from the SVD
+	// init instead of carrying the previous window's factorization.
+	DisableWarmStart bool
+	// Core configures the per-window DETECT→CORRECT→CHECK loop.
+	Core core.Config
+}
+
+// DefaultConfig streams the paper's evaluation shape: 158 participants,
+// 2-hour windows of 30-second slots (240), sliding by 30 minutes (60).
+func DefaultConfig() Config {
+	return Config{
+		Participants: 158,
+		WindowSlots:  240,
+		HopSlots:     60,
+		Workers:      2,
+		QueueDepth:   16,
+		MaxFleets:    64,
+		Core:         core.DefaultConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Participants <= 0:
+		return fmt.Errorf("pipeline: participants must be positive, got %d", c.Participants)
+	case c.WindowSlots <= 0:
+		return fmt.Errorf("pipeline: window must be positive, got %d", c.WindowSlots)
+	case c.HopSlots <= 0 || c.HopSlots > c.WindowSlots:
+		return fmt.Errorf("pipeline: hop %d outside (0,%d]", c.HopSlots, c.WindowSlots)
+	case c.Workers <= 0:
+		return fmt.Errorf("pipeline: workers must be positive, got %d", c.Workers)
+	case c.QueueDepth <= 0:
+		return fmt.Errorf("pipeline: queue depth must be positive, got %d", c.QueueDepth)
+	case c.MaxFleets <= 0:
+		return fmt.Errorf("pipeline: max fleets must be positive, got %d", c.MaxFleets)
+	}
+	return c.Core.Validate()
+}
+
+// CellFlag locates one faulty cell in a window result, with Slot on the
+// stream's absolute timeline.
+type CellFlag struct {
+	Participant int `json:"participant"`
+	Slot        int `json:"slot"`
+}
+
+// WindowResult is the detection outcome for one closed window.
+type WindowResult struct {
+	// Fleet and Seq identify the window: Seq counts windows cut from this
+	// fleet's stream (including skipped ones), so gaps in the sequence
+	// observed by a subscriber correspond to dropped or empty windows.
+	Fleet string `json:"fleet"`
+	Seq   int    `json:"seq"`
+	// StartSlot (inclusive) and EndSlot (exclusive) bound the window on
+	// the absolute slot timeline.
+	StartSlot int `json:"start_slot"`
+	EndSlot   int `json:"end_slot"`
+	// Observed counts reported cells in the window; Flagged counts cells
+	// the framework judged faulty.
+	Observed int `json:"observed"`
+	Flagged  int `json:"flagged"`
+	// Iterations and Converged describe the outer loop; WarmStarted
+	// reports whether CORRECT consumed the previous window's factors.
+	Iterations  int  `json:"iterations"`
+	Converged   bool `json:"converged"`
+	WarmStarted bool `json:"warm_started"`
+	// QueueWaitMS and RunMS are this window's queue residence and
+	// detection wall-clock times.
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	RunMS       float64 `json:"run_ms"`
+	// Flags lists the faulty cells.
+	Flags []CellFlag `json:"flags"`
+	// Output and Input carry the full matrices for in-process consumers;
+	// they are withheld from JSON.
+	Output *core.Output `json:"-"`
+	Input  core.Input   `json:"-"`
+}
+
+// job is one snapshotted window awaiting a worker.
+type job struct {
+	sh       *shard
+	seq      int
+	start    int
+	observed int
+	in       core.Input
+	enqueued time.Time
+}
+
+// shard is one fleet's ring-buffered stream state. The rings are
+// Participants×(W+H); a slot lives at column slot%(W+H). Because writes are
+// confined to [start, start+W) and the outgoing hop is zeroed on every
+// slide, distinct live slots never collide modulo the capacity.
+type shard struct {
+	fleet string
+
+	mu    sync.Mutex
+	start int // first slot of the open window
+	seq   int // sequence number the open window will get
+
+	sx, sy, vx, vy, ex *mat.Dense
+
+	// warm carries the factors of the newest processed window (guarded by
+	// mu; warmSeq orders concurrent workers), latest the newest result.
+	warm    *core.WarmState
+	warmSeq int
+	latest  *WindowResult
+}
+
+// Engine is the streaming detection engine. It implements mcs.Ingestor, so
+// an mcs.Server can feed it directly from the TCP transport. All methods
+// are safe for concurrent use.
+type Engine struct {
+	cfg Config
+
+	// lifeMu orders Ingest/Flush against Close: ingestion holds the read
+	// side for its full critical path so the dispatch queue can only be
+	// closed once no sender is in flight.
+	lifeMu sync.RWMutex
+	closed bool
+
+	shardMu sync.Mutex
+	shards  map[string]*shard
+
+	queue chan job
+	qmu   sync.Mutex // serializes the send-or-drop-oldest dance
+	wg    sync.WaitGroup
+
+	subMu      sync.Mutex
+	subs       map[int]chan *WindowResult
+	nextSub    int
+	subsClosed bool
+
+	c    counters
+	hist struct {
+		detect, correct, check, run, wait histogram
+	}
+}
+
+// New validates the configuration and starts the worker pool. The caller
+// must Close the engine to stop the workers and drain the queue.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.MaxFleets == 0 {
+		cfg.MaxFleets = 64
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:    cfg,
+		shards: make(map[string]*shard),
+		queue:  make(chan job, cfg.QueueDepth),
+		subs:   make(map[int]chan *WindowResult),
+	}
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e, nil
+}
+
+// Ingest routes one report into its fleet's ring buffer, closing and
+// dispatching any windows the report's slot has passed. It is the
+// mcs.Ingestor entry point: rejections are returned (and counted) so the
+// transport can acknowledge each upload honestly.
+func (e *Engine) Ingest(r mcs.Report) error {
+	e.lifeMu.RLock()
+	defer e.lifeMu.RUnlock()
+	if e.closed {
+		e.c.rejected.Add(1)
+		return ErrClosed
+	}
+	if r.Participant < 0 || r.Participant >= e.cfg.Participants {
+		e.c.rejected.Add(1)
+		return fmt.Errorf("pipeline: participant %d outside [0,%d)", r.Participant, e.cfg.Participants)
+	}
+	if r.Slot < 0 {
+		e.c.rejected.Add(1)
+		return fmt.Errorf("pipeline: negative slot %d", r.Slot)
+	}
+	sh, err := e.shard(r.Fleet)
+	if err != nil {
+		e.c.rejected.Add(1)
+		return err
+	}
+	jobs, err := sh.ingest(r, e.cfg, &e.c)
+	for _, j := range jobs {
+		e.enqueue(j)
+	}
+	if err != nil {
+		e.c.rejected.Add(1)
+		return err
+	}
+	e.c.ingested.Add(1)
+	return nil
+}
+
+// Flush closes the fleet's open window early — regardless of how far it has
+// filled — and dispatches it if it holds any observations. It lets a
+// shutdown or a test drain a stream that will not receive further reports.
+func (e *Engine) Flush(fleet string) error {
+	e.lifeMu.RLock()
+	defer e.lifeMu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.shardMu.Lock()
+	sh := e.shards[fleet]
+	e.shardMu.Unlock()
+	if sh == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownFleet, fleet)
+	}
+	sh.mu.Lock()
+	j, ok := sh.closeWindow(e.cfg)
+	sh.mu.Unlock()
+	e.c.windowsClosed.Add(1)
+	if !ok {
+		e.c.windowsEmpty.Add(1)
+		return nil
+	}
+	e.enqueue(j)
+	return nil
+}
+
+// Close stops ingestion, lets the workers drain every queued window, and
+// then closes all subscription channels. It is idempotent and safe to call
+// concurrently with Ingest.
+func (e *Engine) Close() {
+	e.lifeMu.Lock()
+	if e.closed {
+		e.lifeMu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	e.lifeMu.Unlock()
+	close(e.queue)
+	e.wg.Wait()
+	e.subMu.Lock()
+	e.subsClosed = true
+	for id, ch := range e.subs {
+		delete(e.subs, id)
+		close(ch)
+	}
+	e.subMu.Unlock()
+}
+
+// Subscribe registers a result channel with the given buffer (minimum 1).
+// A subscriber that falls behind loses results rather than stalling the
+// workers: each undeliverable result is counted in Stats.SubscriberDrops.
+// The channel closes on cancel or engine Close; cancel is idempotent.
+func (e *Engine) Subscribe(buffer int) (<-chan *WindowResult, func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	ch := make(chan *WindowResult, buffer)
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	if e.subsClosed {
+		close(ch)
+		return ch, func() {}
+	}
+	id := e.nextSub
+	e.nextSub++
+	e.subs[id] = ch
+	cancel := func() {
+		e.subMu.Lock()
+		defer e.subMu.Unlock()
+		if _, ok := e.subs[id]; ok {
+			delete(e.subs, id)
+			close(ch)
+		}
+	}
+	return ch, cancel
+}
+
+// Latest returns the newest completed window result for the fleet, or
+// ErrUnknownFleet / nil result if none has completed yet.
+func (e *Engine) Latest(fleet string) (*WindowResult, error) {
+	e.shardMu.Lock()
+	sh := e.shards[fleet]
+	e.shardMu.Unlock()
+	if sh == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownFleet, fleet)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.latest, nil
+}
+
+// Fleets lists the materialized fleet IDs, sorted.
+func (e *Engine) Fleets() []string {
+	e.shardMu.Lock()
+	defer e.shardMu.Unlock()
+	names := make([]string, 0, len(e.shards))
+	for name := range e.shards {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stats snapshots the engine's instrumentation.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Ingested:         e.c.ingested.Load(),
+		Rejected:         e.c.rejected.Load(),
+		Late:             e.c.late.Load(),
+		Duplicates:       e.c.duplicates.Load(),
+		WindowsClosed:    e.c.windowsClosed.Load(),
+		WindowsEmpty:     e.c.windowsEmpty.Load(),
+		WindowsSkipped:   e.c.windowsSkipped.Load(),
+		WindowsDropped:   e.c.windowsDropped.Load(),
+		WindowsProcessed: e.c.windowsDone.Load(),
+		WindowsFailed:    e.c.windowsFailed.Load(),
+		WarmStarts:       e.c.warmStarts.Load(),
+		ColdStarts:       e.c.coldStarts.Load(),
+		SubscriberDrops:  e.c.subscriberDrops.Load(),
+		QueueDepth:       len(e.queue),
+		QueueCapacity:    cap(e.queue),
+		PhaseLatency: map[string]HistogramSnapshot{
+			"detect":  e.hist.detect.Snapshot(),
+			"correct": e.hist.correct.Snapshot(),
+			"check":   e.hist.check.Snapshot(),
+			"run":     e.hist.run.Snapshot(),
+			"wait":    e.hist.wait.Snapshot(),
+		},
+	}
+	e.shardMu.Lock()
+	s.Fleets = len(e.shards)
+	e.shardMu.Unlock()
+	return s
+}
+
+// shard returns the fleet's shard, materializing it on first sight.
+func (e *Engine) shard(fleet string) (*shard, error) {
+	e.shardMu.Lock()
+	defer e.shardMu.Unlock()
+	if sh, ok := e.shards[fleet]; ok {
+		return sh, nil
+	}
+	if len(e.shards) >= e.cfg.MaxFleets {
+		return nil, fmt.Errorf("%w: %d shards live, fleet %q refused", ErrTooManyFleets, len(e.shards), fleet)
+	}
+	n, capSlots := e.cfg.Participants, e.cfg.WindowSlots+e.cfg.HopSlots
+	sh := &shard{
+		fleet:   fleet,
+		warmSeq: -1,
+		sx:      mat.New(n, capSlots),
+		sy:      mat.New(n, capSlots),
+		vx:      mat.New(n, capSlots),
+		vy:      mat.New(n, capSlots),
+		ex:      mat.New(n, capSlots),
+	}
+	e.shards[fleet] = sh
+	return sh, nil
+}
+
+// enqueue places a job on the dispatch queue, evicting the oldest queued
+// window when full. qmu admits one producer at a time, so after at most one
+// eviction the send succeeds (workers only ever make room).
+func (e *Engine) enqueue(j job) {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	for {
+		select {
+		case e.queue <- j:
+			return
+		default:
+		}
+		select {
+		case <-e.queue:
+			e.c.windowsDropped.Add(1)
+		default:
+		}
+	}
+}
+
+// ingest stores one report, first closing every window the slot has passed.
+// It returns the closed windows ready for dispatch together with the
+// report's own acceptance error, if any: a late or duplicate report still
+// advances the stream's watermark.
+func (sh *shard) ingest(r mcs.Report, cfg Config, c *counters) ([]job, error) {
+	w, h := cfg.WindowSlots, cfg.HopSlots
+	capSlots := w + h
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if r.Slot < sh.start {
+		c.late.Add(1)
+		return nil, fmt.Errorf("%w: slot %d precedes window start %d", ErrLateReport, r.Slot, sh.start)
+	}
+	var jobs []job
+	for closes := 0; r.Slot >= sh.start+w; closes++ {
+		if closes >= maxCatchUpCloses {
+			// Fast-forward past the gap: skip whole hops until the slot
+			// fits the open window again. Only live columns need zeroing,
+			// and writes are confined to [start, start+w).
+			k := (r.Slot-(sh.start+w))/h + 1
+			sh.zeroCols(sh.start, minInt(k*h, w), capSlots)
+			sh.start += k * h
+			sh.seq += k
+			c.windowsSkipped.Add(uint64(k))
+			break
+		}
+		j, ok := sh.closeWindow(cfg)
+		c.windowsClosed.Add(1)
+		if ok {
+			jobs = append(jobs, j)
+		} else {
+			c.windowsEmpty.Add(1)
+		}
+	}
+	col := r.Slot % capSlots
+	if sh.ex.At(r.Participant, col) != 0 {
+		c.duplicates.Add(1)
+		return jobs, fmt.Errorf("%w: participant %d slot %d", mcs.ErrDuplicateReport, r.Participant, r.Slot)
+	}
+	sh.sx.Set(r.Participant, col, r.X)
+	sh.sy.Set(r.Participant, col, r.Y)
+	sh.vx.Set(r.Participant, col, r.VX)
+	sh.vy.Set(r.Participant, col, r.VY)
+	sh.ex.Set(r.Participant, col, 1)
+	return jobs, nil
+}
+
+// closeWindow snapshots the open window into a fresh core.Input, slides the
+// ring forward one hop, and reports whether the window held any
+// observations. Callers hold sh.mu.
+func (sh *shard) closeWindow(cfg Config) (job, bool) {
+	w, h := cfg.WindowSlots, cfg.HopSlots
+	capSlots := w + h
+	n := cfg.Participants
+	in := core.Input{
+		SX: mat.New(n, w), SY: mat.New(n, w),
+		VX: mat.New(n, w), VY: mat.New(n, w),
+		Existence: mat.New(n, w),
+	}
+	observed := 0
+	for i := 0; i < n; i++ {
+		sxr, syr := sh.sx.RowView(i), sh.sy.RowView(i)
+		vxr, vyr, exr := sh.vx.RowView(i), sh.vy.RowView(i), sh.ex.RowView(i)
+		dx, dy := in.SX.RowView(i), in.SY.RowView(i)
+		dvx, dvy, de := in.VX.RowView(i), in.VY.RowView(i), in.Existence.RowView(i)
+		for t := 0; t < w; t++ {
+			src := (sh.start + t) % capSlots
+			if exr[src] == 0 {
+				continue
+			}
+			dx[t], dy[t] = sxr[src], syr[src]
+			dvx[t], dvy[t] = vxr[src], vyr[src]
+			de[t] = 1
+			observed++
+		}
+	}
+	j := job{
+		sh:       sh,
+		seq:      sh.seq,
+		start:    sh.start,
+		observed: observed,
+		in:       in,
+		enqueued: time.Now(),
+	}
+	sh.zeroCols(sh.start, h, capSlots)
+	sh.start += h
+	sh.seq++
+	if observed == 0 {
+		return job{}, false
+	}
+	return j, true
+}
+
+// zeroCols clears count ring columns starting at absolute slot from.
+func (sh *shard) zeroCols(from, count, capSlots int) {
+	n, _ := sh.ex.Dims()
+	mats := [...]*mat.Dense{sh.sx, sh.sy, sh.vx, sh.vy, sh.ex}
+	for i := 0; i < n; i++ {
+		for _, m := range mats {
+			row := m.RowView(i)
+			for t := 0; t < count; t++ {
+				row[(from+t)%capSlots] = 0
+			}
+		}
+	}
+}
+
+// worker drains the dispatch queue until Close.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		e.process(j)
+	}
+}
+
+// process runs the detection loop on one window, updates the fleet's warm
+// state and latest result, and publishes to subscribers.
+func (e *Engine) process(j job) {
+	e.hist.wait.Observe(time.Since(j.enqueued))
+	var warm *core.WarmState
+	if !e.cfg.DisableWarmStart {
+		j.sh.mu.Lock()
+		warm = j.sh.warm
+		j.sh.mu.Unlock()
+	}
+	began := time.Now()
+	out, err := core.RunWarm(e.cfg.Core, j.in, warm)
+	if err != nil {
+		// A window the core refuses (it validated shapes we built, so this
+		// is effectively unreachable) is dropped but visible in the stats.
+		e.c.windowsFailed.Add(1)
+		return
+	}
+	runDur := time.Since(began)
+	e.hist.run.Observe(runDur)
+	e.hist.detect.Observe(out.DetectDuration)
+	e.hist.correct.Observe(out.CorrectDuration)
+	e.hist.check.Observe(out.CheckDuration)
+	if out.WarmStarted {
+		e.c.warmStarts.Add(1)
+	} else {
+		e.c.coldStarts.Add(1)
+	}
+
+	res := &WindowResult{
+		Fleet:       j.sh.fleet,
+		Seq:         j.seq,
+		StartSlot:   j.start,
+		EndSlot:     j.start + e.cfg.WindowSlots,
+		Observed:    j.observed,
+		Iterations:  out.Iterations,
+		Converged:   out.Converged,
+		WarmStarted: out.WarmStarted,
+		QueueWaitMS: float64(began.Sub(j.enqueued)) / 1e6,
+		RunMS:       float64(runDur) / 1e6,
+		Flags:       collectFlags(out.Detection, j.start),
+		Output:      out,
+		Input:       j.in,
+	}
+	res.Flagged = len(res.Flags)
+
+	j.sh.mu.Lock()
+	// Workers may finish out of order; only newer windows advance the warm
+	// state and the published latest result.
+	if out.Warm != nil && j.seq > j.sh.warmSeq {
+		j.sh.warm = out.Warm
+		j.sh.warmSeq = j.seq
+	}
+	if j.sh.latest == nil || j.seq > j.sh.latest.Seq {
+		j.sh.latest = res
+	}
+	j.sh.mu.Unlock()
+
+	e.c.windowsDone.Add(1)
+	e.publish(res)
+}
+
+// publish fans a result out to every subscriber without blocking.
+func (e *Engine) publish(r *WindowResult) {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	for _, ch := range e.subs {
+		select {
+		case ch <- r:
+		default:
+			e.c.subscriberDrops.Add(1)
+		}
+	}
+}
+
+// collectFlags lists the raised cells of a detection matrix with slots
+// shifted onto the absolute timeline.
+func collectFlags(d *mat.Dense, startSlot int) []CellFlag {
+	var flags []CellFlag
+	n, w := d.Dims()
+	for i := 0; i < n; i++ {
+		row := d.RowView(i)
+		for t := 0; t < w; t++ {
+			if row[t] != 0 {
+				flags = append(flags, CellFlag{Participant: i, Slot: startSlot + t})
+			}
+		}
+	}
+	return flags
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,120 @@
+package pipeline
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets are the upper bounds (inclusive) of the latency histogram
+// buckets in milliseconds, doubling from 1 ms; a final overflow bucket
+// catches everything slower. Power-of-two bounds keep Observe cheap and the
+// JSON rendering compact.
+var histBuckets = [...]int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
+
+// histogram is a fixed-bucket latency histogram safe for concurrent use.
+type histogram struct {
+	counts [len(histBuckets) + 1]atomic.Uint64
+	sumNS  atomic.Int64
+	n      atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *histogram) Observe(d time.Duration) {
+	ms := d.Milliseconds()
+	i := 0
+	for ; i < len(histBuckets); i++ {
+		if ms <= histBuckets[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.n.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a latency histogram,
+// expvar-style JSON friendly.
+type HistogramSnapshot struct {
+	// Count is the number of observations.
+	Count uint64 `json:"count"`
+	// MeanMS is the arithmetic-mean latency in milliseconds.
+	MeanMS float64 `json:"mean_ms"`
+	// Buckets maps each bucket's upper bound in milliseconds to its count;
+	// the overflow bucket is keyed -1. Empty buckets are omitted.
+	Buckets map[int64]uint64 `json:"buckets"`
+}
+
+func (h *histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Buckets: make(map[int64]uint64)}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		bound := int64(-1)
+		if i < len(histBuckets) {
+			bound = histBuckets[i]
+		}
+		s.Buckets[bound] = c
+	}
+	s.Count = h.n.Load()
+	if s.Count > 0 {
+		s.MeanMS = float64(h.sumNS.Load()) / float64(s.Count) / 1e6
+	}
+	return s
+}
+
+// counters aggregates the engine's monotonic event counts.
+type counters struct {
+	ingested        atomic.Uint64
+	rejected        atomic.Uint64
+	late            atomic.Uint64
+	duplicates      atomic.Uint64
+	windowsClosed   atomic.Uint64
+	windowsEmpty    atomic.Uint64
+	windowsSkipped  atomic.Uint64
+	windowsDropped  atomic.Uint64
+	windowsDone     atomic.Uint64
+	windowsFailed   atomic.Uint64
+	warmStarts      atomic.Uint64
+	coldStarts      atomic.Uint64
+	subscriberDrops atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of the engine's instrumentation; it
+// marshals directly to the daemon's /metrics JSON.
+type Stats struct {
+	// Ingested counts accepted reports; Rejected counts refused ones, of
+	// which Late arrived below their fleet's retention horizon and
+	// Duplicates targeted an already-filled cell.
+	Ingested   uint64 `json:"ingested"`
+	Rejected   uint64 `json:"rejected"`
+	Late       uint64 `json:"late"`
+	Duplicates uint64 `json:"duplicates"`
+	// WindowsClosed counts windows cut from the streams; WindowsEmpty were
+	// discarded for holding no observations, WindowsSkipped were jumped
+	// over to catch up after a large slot gap, WindowsDropped fell out of
+	// the bounded queue (drop-oldest backpressure), WindowsProcessed ran
+	// the detection loop to completion and WindowsFailed errored in it.
+	WindowsClosed    uint64 `json:"windows_closed"`
+	WindowsEmpty     uint64 `json:"windows_empty"`
+	WindowsSkipped   uint64 `json:"windows_skipped"`
+	WindowsDropped   uint64 `json:"windows_dropped"`
+	WindowsProcessed uint64 `json:"windows_processed"`
+	WindowsFailed    uint64 `json:"windows_failed"`
+	// WarmStarts and ColdStarts split processed windows by whether CORRECT
+	// consumed the previous window's factorization.
+	WarmStarts uint64 `json:"warm_starts"`
+	ColdStarts uint64 `json:"cold_starts"`
+	// SubscriberDrops counts results a slow subscriber failed to receive.
+	SubscriberDrops uint64 `json:"subscriber_drops"`
+	// QueueDepth and QueueCapacity describe the dispatch queue right now.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	// Fleets is the number of shards currently materialized.
+	Fleets int `json:"fleets"`
+	// PhaseLatency holds per-phase wall-clock histograms: detect, correct,
+	// check (cumulative per window across outer rounds), run (one whole
+	// DETECT→CORRECT→CHECK loop) and wait (queue residence time).
+	PhaseLatency map[string]HistogramSnapshot `json:"phase_latency_ms"`
+}
