@@ -4,17 +4,26 @@
 // windows and runs DETECT→CORRECT→CHECK on every window as it closes, and
 // an HTTP sidecar exposes health, metrics, and the newest per-fleet result.
 //
+// With -data-dir set the daemon is durable: every accepted report is
+// framed into a write-ahead log before it is acknowledged (fsync policy
+// selectable via -fsync), shard state is checkpointed every
+// -checkpoint-every closed windows, and on startup the newest checkpoint
+// is restored and the log tail replayed, so a crash loses at most what the
+// fsync policy permits.
+//
 // Usage:
 //
 //	itscs-serve [-ingest 127.0.0.1:7070] [-http 127.0.0.1:8080]
 //	            [-participants 158] [-window 240] [-hop 60] [-tau 30s]
 //	            [-workers 2] [-queue 16] [-max-fleets 64]
 //	            [-idle-timeout 2m] [-cold-start]
+//	            [-data-dir /var/lib/itscs] [-fsync always|interval|never]
+//	            [-fsync-interval 100ms] [-checkpoint-every 4]
 //
 // HTTP endpoints:
 //
 //	GET /healthz         liveness probe
-//	GET /metrics         engine counters and latency histograms (JSON)
+//	GET /metrics         engine + durability counters and histograms (JSON)
 //	GET /results         fleets with at least one report, sorted
 //	GET /results/{fleet} newest completed window result for the fleet
 package main
@@ -29,11 +38,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"itscs/internal/mcs"
 	"itscs/internal/pipeline"
+	"itscs/internal/wal"
 )
 
 func main() {
@@ -58,11 +69,18 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	maxFleets := fs.Int("max-fleets", 64, "maximum live fleet shards")
 	idle := fs.Duration("idle-timeout", mcs.DefaultIdleTimeout, "ingest connection idle limit (0 disables)")
 	coldStart := fs.Bool("cold-start", false, "disable cross-window warm starts")
+	dataDir := fs.String("data-dir", "", "durability directory for the WAL and checkpoints (empty = in-memory only)")
+	fsyncPolicy := fs.String("fsync", "always", "WAL fsync policy: always, interval or never")
+	fsyncInterval := fs.Duration("fsync-interval", 100*time.Millisecond, "flush cadence under -fsync interval")
+	checkpointEvery := fs.Int("checkpoint-every", 4, "checkpoint shard state every N closed windows")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *tau <= 0 {
 		return fmt.Errorf("slot duration must be positive, got %v", *tau)
+	}
+	if *checkpointEvery < 1 {
+		return fmt.Errorf("checkpoint cadence must be >= 1 window, got %d", *checkpointEvery)
 	}
 
 	cfg := pipeline.DefaultConfig()
@@ -76,9 +94,26 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	cfg.Core.Detect.Tau = *tau
 	cfg.Core.Reconstruct.Tau = *tau
 
-	d, err := newDaemon(cfg, *ingestAddr, *httpAddr, *idle)
+	var dur *durability
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		opt := wal.DefaultOptions()
+		opt.Sync = policy
+		opt.SyncEvery = *fsyncInterval
+		dur = &durability{dir: *dataDir, opt: opt, every: uint64(*checkpointEvery)}
+	}
+
+	d, err := newDaemon(cfg, *ingestAddr, *httpAddr, *idle, dur)
 	if err != nil {
 		return err
+	}
+	if d.recovery != nil {
+		fmt.Fprintf(out, "itscs-serve: recovered %d fleet(s) from %s: replayed %d of %d logged records in %.3fs (checkpoint at index %d%s)\n",
+			d.recovery.Fleets, *dataDir, d.recovery.ReplayedRecords, d.recovery.LogRecords,
+			d.recovery.DurationS, d.recovery.CheckpointIndex, d.recovery.note())
 	}
 	d.serve()
 	fmt.Fprintf(out, "itscs-serve: ingesting on %s, serving HTTP on %s\n", d.ingestAddr, d.httpBound)
@@ -89,7 +124,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		defer signal.Stop(sig)
 		select {
 		case s := <-sig:
-			fmt.Fprintf(out, "itscs-serve: received %v, shutting down\n", s)
+			fmt.Fprintf(out, "itscs-serve: received %v, draining\n", s)
 		case err := <-d.fatal:
 			_ = d.close()
 			return err
@@ -105,7 +140,56 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	return d.close()
 }
 
-// daemon wires the engine to its two listeners.
+// durability bundles the daemon's persistent state: the write-ahead log,
+// the checkpoint directory, and the background checkpointer.
+type durability struct {
+	dir   string
+	opt   wal.Options
+	every uint64 // checkpoint every N closed windows
+
+	log *wal.Log
+
+	// kick is signaled by the engine's OnWindowClose hook; the checkpointer
+	// goroutine owns everything below.
+	kick        chan struct{}
+	stop        chan struct{}
+	wg          sync.WaitGroup
+	mu          sync.Mutex
+	lastCkpt    uint64 // windowsClosed at the last checkpoint
+	windowsSeen uint64
+	ckpts       uint64
+	ckptErrs    uint64
+	lastErr     string
+}
+
+// recoveryInfo summarizes what startup restored; it is reported once on
+// stdout and permanently under /metrics.
+type recoveryInfo struct {
+	CheckpointIndex    uint64  `json:"checkpoint_index"`
+	CheckpointsSkipped int     `json:"checkpoints_skipped_corrupt"`
+	Fleets             int     `json:"fleets"`
+	LogRecords         uint64  `json:"log_records"`
+	ReplayedRecords    uint64  `json:"replayed_records"`
+	ReplayRejected     uint64  `json:"replay_rejected"`
+	DurationS          float64 `json:"duration_s"`
+}
+
+func (r *recoveryInfo) note() string {
+	if r.CheckpointsSkipped > 0 {
+		return fmt.Sprintf(", %d corrupt checkpoint(s) skipped", r.CheckpointsSkipped)
+	}
+	return ""
+}
+
+// checkpointStats snapshots the checkpointer's counters for /metrics.
+type checkpointStats struct {
+	Written   uint64 `json:"written"`
+	Errors    uint64 `json:"errors"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// daemon wires the engine to its two listeners and, when durable, to the
+// WAL and checkpointer.
 type daemon struct {
 	engine     *pipeline.Engine
 	ingest     *mcs.Server
@@ -115,32 +199,165 @@ type daemon struct {
 	httpBound  net.Addr
 	started    time.Time
 	fatal      chan error
+	dur        *durability
+	recovery   *recoveryInfo
 }
 
-func newDaemon(cfg pipeline.Config, ingestAddr, httpAddr string, idle time.Duration) (*daemon, error) {
+func newDaemon(cfg pipeline.Config, ingestAddr, httpAddr string, idle time.Duration, dur *durability) (*daemon, error) {
+	var recovery *recoveryInfo
+	if dur != nil {
+		log, err := wal.Open(dur.dir, dur.opt)
+		if err != nil {
+			return nil, err
+		}
+		dur.log = log
+		dur.kick = make(chan struct{}, 1)
+		dur.stop = make(chan struct{})
+		cfg.Log = log
+		cfg.OnWindowClose = func(total uint64) {
+			select {
+			case dur.kick <- struct{}{}:
+			default:
+			}
+		}
+	}
 	engine, err := pipeline.New(cfg)
 	if err != nil {
+		if dur != nil {
+			_ = dur.log.Close()
+		}
 		return nil, err
 	}
+	if dur != nil {
+		recovery, err = recover_(engine, dur)
+		if err != nil {
+			engine.Abort()
+			_ = dur.log.Close()
+			return nil, err
+		}
+	}
 	d := &daemon{
-		engine:  engine,
-		ingest:  mcs.NewServer(engine),
-		started: time.Now(),
-		fatal:   make(chan error, 2),
+		engine:   engine,
+		ingest:   mcs.NewServer(engine),
+		started:  time.Now(),
+		fatal:    make(chan error, 2),
+		dur:      dur,
+		recovery: recovery,
 	}
 	d.ingest.IdleTimeout = idle
 	if d.ingestAddr, err = d.ingest.Listen(ingestAddr); err != nil {
 		engine.Close()
+		if dur != nil {
+			_ = dur.log.Close()
+		}
 		return nil, err
 	}
 	if d.httpLn, err = net.Listen("tcp", httpAddr); err != nil {
 		_ = d.ingest.Close()
 		engine.Close()
+		if dur != nil {
+			_ = dur.log.Close()
+		}
 		return nil, fmt.Errorf("http listen: %w", err)
 	}
 	d.httpBound = d.httpLn.Addr()
 	d.http = &http.Server{Handler: d.mux(), ReadHeaderTimeout: 10 * time.Second}
+	if dur != nil {
+		dur.wg.Add(1)
+		go dur.checkpointer(d.engine)
+	}
 	return d, nil
+}
+
+// recover_ restores the newest checkpoint into the engine and replays the
+// log tail through it. A missing checkpoint just means replay-from-zero.
+func recover_(engine *pipeline.Engine, dur *durability) (*recoveryInfo, error) {
+	began := time.Now()
+	info := &recoveryInfo{LogRecords: dur.log.AppendedIndex()}
+	ck, skipped, err := wal.LatestCheckpoint(dur.dir)
+	info.CheckpointsSkipped = skipped
+	switch {
+	case err == nil:
+		if rerr := engine.Restore(ck); rerr != nil {
+			return nil, fmt.Errorf("restore checkpoint: %w", rerr)
+		}
+		info.CheckpointIndex = ck.LogIndex
+		info.Fleets = len(ck.Shards)
+	case errors.Is(err, wal.ErrNoCheckpoint):
+		// Cold directory or checkpoints all corrupt: replay everything.
+	default:
+		return nil, err
+	}
+	replayed, err := dur.log.Replay(info.CheckpointIndex, func(_ uint64, r mcs.Report) error {
+		if ierr := engine.Replay(r); ierr != nil {
+			info.ReplayRejected++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("replay log: %w", err)
+	}
+	info.ReplayedRecords = replayed
+	info.DurationS = time.Since(began).Seconds()
+	dur.mu.Lock()
+	dur.windowsSeen = 0
+	dur.mu.Unlock()
+	return info, nil
+}
+
+// checkpointer writes a checkpoint every `every` closed windows, prunes
+// old checkpoints, and compacts log segments wholly behind the newest one.
+func (dur *durability) checkpointer(engine *pipeline.Engine) {
+	defer dur.wg.Done()
+	for {
+		select {
+		case <-dur.stop:
+			return
+		case <-dur.kick:
+		}
+		closed := engine.Stats().WindowsClosed
+		dur.mu.Lock()
+		due := closed >= dur.lastCkpt+dur.every
+		dur.mu.Unlock()
+		if !due {
+			continue
+		}
+		if err := dur.checkpointOnce(engine, closed); err != nil {
+			dur.mu.Lock()
+			dur.ckptErrs++
+			dur.lastErr = err.Error()
+			dur.mu.Unlock()
+		}
+	}
+}
+
+// checkpointOnce snapshots, persists, prunes, and compacts.
+func (dur *durability) checkpointOnce(engine *pipeline.Engine, closed uint64) error {
+	ck, err := engine.Checkpoint()
+	if err != nil {
+		return err
+	}
+	if _, err := wal.WriteCheckpoint(dur.dir, ck); err != nil {
+		return err
+	}
+	if _, err := wal.PruneCheckpoints(dur.dir, 2); err != nil {
+		return err
+	}
+	if _, err := dur.log.Compact(ck.LogIndex); err != nil {
+		return err
+	}
+	dur.mu.Lock()
+	dur.lastCkpt = closed
+	dur.ckpts++
+	dur.mu.Unlock()
+	return nil
+}
+
+// stats snapshots the checkpointer counters.
+func (dur *durability) stats() checkpointStats {
+	dur.mu.Lock()
+	defer dur.mu.Unlock()
+	return checkpointStats{Written: dur.ckpts, Errors: dur.ckptErrs, LastError: dur.lastErr}
 }
 
 // serve starts both listeners; failures surface on d.fatal.
@@ -158,13 +375,29 @@ func (d *daemon) serve() {
 }
 
 // close shuts the transport down first so no report arrives after the
-// engine stops, then drains the engine's queued windows.
+// engine stops, then drains the engine (Close flushes every open partial
+// window through detection), writes a final checkpoint, and closes the log.
 func (d *daemon) close() error {
 	err := d.ingest.Close()
 	if herr := d.http.Close(); err == nil {
 		err = herr
 	}
+	if d.dur != nil {
+		close(d.dur.stop)
+		d.dur.wg.Wait()
+	}
 	d.engine.Close()
+	if d.dur != nil {
+		// Final checkpoint after the drain: every logged record has been
+		// applied and every open window flushed, so a clean restart
+		// restores this snapshot and replays nothing.
+		if ckErr := d.dur.checkpointOnce(d.engine, d.engine.Stats().WindowsClosed); ckErr != nil && err == nil {
+			err = ckErr
+		}
+		if lerr := d.dur.log.Close(); err == nil {
+			err = lerr
+		}
+	}
 	return err
 }
 
@@ -177,7 +410,15 @@ func (d *daemon) mux() *http.ServeMux {
 		})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, d.engine.Stats())
+		payload := metricsPayload{Stats: d.engine.Stats()}
+		if d.dur != nil {
+			ws := d.dur.log.Stats()
+			payload.WAL = &ws
+			cs := d.dur.stats()
+			payload.Checkpoints = &cs
+		}
+		payload.Recovery = d.recovery
+		writeJSON(w, http.StatusOK, payload)
 	})
 	mux.HandleFunc("GET /results", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"fleets": d.engine.Fleets()})
@@ -198,6 +439,15 @@ func (d *daemon) mux() *http.ServeMux {
 		writeJSON(w, http.StatusOK, res)
 	})
 	return mux
+}
+
+// metricsPayload embeds the engine stats (flat, as before durability) and
+// adds the WAL, checkpointer, and recovery sections when durable.
+type metricsPayload struct {
+	pipeline.Stats
+	WAL         *wal.Stats       `json:"wal,omitempty"`
+	Checkpoints *checkpointStats `json:"checkpoints,omitempty"`
+	Recovery    *recoveryInfo    `json:"recovery,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -12,6 +12,7 @@ import (
 	"itscs/internal/mcs"
 	"itscs/internal/pipeline"
 	"itscs/internal/trace"
+	"itscs/internal/wal"
 )
 
 func TestRunRejectsBadFlags(t *testing.T) {
@@ -42,7 +43,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 	cfg.WindowSlots = w
 	cfg.HopSlots = h
 	cfg.Workers = 1
-	d, err := newDaemon(cfg, "127.0.0.1:0", "127.0.0.1:0", time.Minute)
+	d, err := newDaemon(cfg, "127.0.0.1:0", "127.0.0.1:0", time.Minute, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,6 +145,132 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 	if status, err := getJSON(base+"/results/none", &errBody); err != nil || status != http.StatusNotFound {
 		t.Errorf("unknown fleet: status %d err %v", status, err)
+	}
+}
+
+// TestDaemonDurableRestart boots a durable daemon, streams half a fleet,
+// shuts it down gracefully, and restarts on the same directory: the final
+// checkpoint must make the restart replay nothing, and the restored stream
+// state must merge with the second half into a full window result.
+func TestDaemonDurableRestart(t *testing.T) {
+	const (
+		n = 24
+		w = 60
+		h = 20
+	)
+	dir := t.TempDir()
+	newDur := func() *durability {
+		opt := wal.DefaultOptions()
+		opt.Sync = wal.SyncInterval
+		return &durability{dir: dir, opt: opt, every: 2}
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.Participants = n
+	cfg.WindowSlots = w
+	cfg.HopSlots = h
+	cfg.Workers = 1
+
+	tcfg := trace.DefaultConfig()
+	tcfg.Participants = n
+	tcfg.Slots = w + 2*h + 1
+	fleet, err := trace.Generate(tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := corrupt.DefaultPlan()
+	plan.MissingRatio = 0.1
+	plan.FaultyRatio = 0.1
+	res, err := corrupt.Apply(plan, fleet.X, fleet.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := func(from, to int) []mcs.Report {
+		var out []mcs.Report
+		for s := from; s < to; s++ {
+			for i := 0; i < n; i++ {
+				if res.Existence.At(i, s) == 0 {
+					continue
+				}
+				out = append(out, mcs.Report{
+					Fleet: "cab", Participant: i, Slot: s,
+					X: res.SX.At(i, s), Y: res.SY.At(i, s),
+					VX: fleet.VX.At(i, s), VY: fleet.VY.At(i, s),
+				})
+			}
+		}
+		return out
+	}
+
+	// First life: stream the first 50 slots, then shut down gracefully.
+	d1, err := newDaemon(cfg, "127.0.0.1:0", "127.0.0.1:0", time.Minute, newDur())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.serve()
+	first := reports(0, 50)
+	if acked, err := mcs.SendReports(context.Background(), d1.ingestAddr.String(), first); err != nil || acked != len(first) {
+		t.Fatalf("first life acked %d of %d, err %v", acked, len(first), err)
+	}
+	if err := d1.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: the shutdown checkpoint covers every logged record, so a
+	// clean restart restores the fleet and replays nothing.
+	d2, err := newDaemon(cfg, "127.0.0.1:0", "127.0.0.1:0", time.Minute, newDur())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.serve()
+	defer func() {
+		if err := d2.close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	if d2.recovery == nil {
+		t.Fatal("restart reported no recovery")
+	}
+	if d2.recovery.Fleets != 1 || d2.recovery.ReplayedRecords != 0 || d2.recovery.ReplayRejected != 0 {
+		t.Fatalf("recovery = %+v, want 1 fleet and no replay after clean shutdown", d2.recovery)
+	}
+
+	rest := reports(50, tcfg.Slots)
+	if acked, err := mcs.SendReports(context.Background(), d2.ingestAddr.String(), rest); err != nil || acked != len(rest) {
+		t.Fatalf("second life acked %d of %d, err %v", acked, len(rest), err)
+	}
+
+	// A window spanning the restart must complete: it mixes ring state
+	// restored from the checkpoint with freshly streamed slots.
+	base := "http://" + d2.httpBound.String()
+	var wr pipeline.WindowResult
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		status, err := getJSON(base+"/results/cab", &wr)
+		if err == nil && status == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no window result after restart (status %d, err %v)", status, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if wr.EndSlot-wr.StartSlot != w || wr.Observed == 0 {
+		t.Errorf("post-restart window = %+v", wr)
+	}
+
+	var m struct {
+		pipeline.Stats
+		WAL      *wal.Stats    `json:"wal"`
+		Recovery *recoveryInfo `json:"recovery"`
+	}
+	if status, err := getJSON(base+"/metrics", &m); err != nil || status != http.StatusOK {
+		t.Fatalf("metrics: status %d err %v", status, err)
+	}
+	if m.WAL == nil || m.WAL.Records != uint64(len(rest)) {
+		t.Errorf("wal metrics = %+v, want %d records this life", m.WAL, len(rest))
+	}
+	if m.Recovery == nil || m.Recovery.Fleets != 1 {
+		t.Errorf("recovery metrics = %+v", m.Recovery)
 	}
 }
 

@@ -2,8 +2,10 @@ package mat
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -66,6 +68,68 @@ func ReadCSV(r io.Reader) (*Dense, error) {
 	m, err := NewFromRows(rows)
 	if err != nil {
 		return nil, fmt.Errorf("read csv: %w", err)
+	}
+	return m, nil
+}
+
+// Binary matrix framing: "MATB" magic, uint32 rows, uint32 cols, then
+// rows*cols float64 values row-major, all little-endian. The format carries
+// no checksum of its own — durable containers (the WAL checkpoint) wrap it
+// in their own CRC.
+var binaryMagic = [4]byte{'M', 'A', 'T', 'B'}
+
+// maxBinaryDim bounds each dimension a binary header may claim, so a
+// corrupted header cannot drive a multi-gigabyte allocation before the
+// caller's integrity check gets a chance to run.
+const maxBinaryDim = 1 << 24
+
+// WriteBinary writes m in the binary matrix framing.
+func WriteBinary(w io.Writer, m *Dense) error {
+	hdr := make([]byte, 12)
+	copy(hdr, binaryMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(m.rows))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(m.cols))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("write binary: %w", err)
+	}
+	buf := make([]byte, 8*m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			binary.LittleEndian.PutUint64(buf[8*j:], math.Float64bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("write binary: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadBinary parses one binary-framed matrix from r, leaving the reader
+// positioned immediately after it.
+func ReadBinary(r io.Reader) (*Dense, error) {
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("read binary header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != binaryMagic {
+		return nil, fmt.Errorf("read binary: bad magic %q", hdr[:4])
+	}
+	rows := int(binary.LittleEndian.Uint32(hdr[4:]))
+	cols := int(binary.LittleEndian.Uint32(hdr[8:]))
+	if rows > maxBinaryDim || cols > maxBinaryDim {
+		return nil, fmt.Errorf("read binary: implausible shape %dx%d", rows, cols)
+	}
+	m := New(rows, cols)
+	buf := make([]byte, 8*cols)
+	for i := 0; i < rows; i++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("read binary row %d: %w", i, err)
+		}
+		row := m.data[i*cols : (i+1)*cols]
+		for j := range row {
+			row[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+		}
 	}
 	return m, nil
 }

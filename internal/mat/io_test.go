@@ -75,3 +75,54 @@ func TestReadCSVWhitespaceTolerant(t *testing.T) {
 		t.Fatalf("parsed %v", m)
 	}
 }
+
+func TestBinaryRoundTrip(t *testing.T) {
+	m, _ := NewFromRows([][]float64{
+		{1.5, -2.25, 3e10},
+		{0, math.NaN(), math.Inf(-1)},
+	})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br, bc := back.Dims(); br != 2 || bc != 3 {
+		t.Fatalf("shape changed: %dx%d", br, bc)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			a, b := m.At(i, j), back.At(i, j)
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("(%d,%d): %v -> %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, New(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ReadBinary(strings.NewReader("JUNKJUNKJUNKJUNK")); err == nil {
+		t.Error("bad magic should error")
+	}
+	if _, err := ReadBinary(bytes.NewReader(good[:len(good)-3])); err == nil {
+		t.Error("truncated data should error")
+	}
+	// A header advertising an absurd shape must be rejected before any
+	// allocation proportional to it happens.
+	huge := append([]byte(nil), good[:4]...)
+	huge = append(huge, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := ReadBinary(bytes.NewReader(huge)); err == nil {
+		t.Error("oversized dims should error")
+	}
+}

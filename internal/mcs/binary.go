@@ -1,0 +1,83 @@
+package mcs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary report encoding, used as the payload of one write-ahead-log frame.
+// Layout (all little-endian):
+//
+//	uvarint  fleet length, then that many bytes of fleet ID
+//	uvarint  participant
+//	uvarint  slot
+//	8 bytes  X   (IEEE-754 bits)
+//	8 bytes  Y
+//	8 bytes  VX
+//	8 bytes  VY
+//
+// The encoding is self-delimiting, so frames need only protect it with a
+// length and checksum. Payload values round-trip bit-exactly, including the
+// non-finite ones ingestion rejects: the log is a transport, not a
+// validator, and replay pushes records back through the same Ingest checks
+// the live path applies.
+
+// maxFleetLen bounds the fleet-ID length a decoder will accept, mirroring
+// what any sane deployment would configure and keeping a corrupt length
+// byte from driving a huge allocation.
+const maxFleetLen = 1 << 10
+
+// AppendBinary appends the report's binary encoding to dst and returns the
+// extended slice.
+func (r Report) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(r.Fleet)))
+	dst = append(dst, r.Fleet...)
+	dst = binary.AppendUvarint(dst, uint64(r.Participant))
+	dst = binary.AppendUvarint(dst, uint64(r.Slot))
+	for _, v := range [...]float64{r.X, r.Y, r.VX, r.VY} {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// DecodeBinary parses one binary-encoded report from the front of b,
+// returning the number of bytes consumed. It never panics on malformed
+// input and rejects trailing garbage only implicitly (callers compare n to
+// the frame's payload length).
+func DecodeBinary(b []byte) (r Report, n int, err error) {
+	flen, k := binary.Uvarint(b)
+	if k <= 0 || flen > maxFleetLen {
+		return Report{}, 0, fmt.Errorf("mcs: bad fleet length in binary report")
+	}
+	n += k
+	if uint64(len(b)-n) < flen {
+		return Report{}, 0, fmt.Errorf("mcs: truncated fleet in binary report")
+	}
+	r.Fleet = string(b[n : n+int(flen)])
+	n += int(flen)
+
+	p, k := binary.Uvarint(b[n:])
+	if k <= 0 || p > math.MaxInt32 {
+		return Report{}, 0, fmt.Errorf("mcs: bad participant in binary report")
+	}
+	r.Participant = int(p)
+	n += k
+	s, k := binary.Uvarint(b[n:])
+	if k <= 0 || s > math.MaxInt32 {
+		return Report{}, 0, fmt.Errorf("mcs: bad slot in binary report")
+	}
+	r.Slot = int(s)
+	n += k
+
+	if len(b)-n < 32 {
+		return Report{}, 0, fmt.Errorf("mcs: truncated values in binary report")
+	}
+	vals := [4]float64{}
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[n:]))
+		n += 8
+	}
+	r.X, r.Y, r.VX, r.VY = vals[0], vals[1], vals[2], vals[3]
+	return r, n, nil
+}

@@ -1,0 +1,88 @@
+package mcs
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	reports := []Report{
+		{Fleet: "cab", Participant: 7, Slot: 42, X: 1.5, Y: -2.25, VX: 0.5, VY: -0.125},
+		{}, // empty fleet, all zero
+		{Fleet: "f", Participant: 1 << 20, Slot: 1 << 20, X: 1e308, Y: -1e308},
+		{Fleet: "weird", X: math.NaN(), Y: math.Inf(1), VX: math.Inf(-1), VY: math.Copysign(0, -1)},
+	}
+	var buf []byte
+	for _, r := range reports {
+		buf = r.AppendBinary(buf)
+	}
+	for i, want := range reports {
+		got, n, err := DecodeBinary(buf)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		buf = buf[n:]
+		if got.Fleet != want.Fleet || got.Participant != want.Participant || got.Slot != want.Slot {
+			t.Fatalf("record %d identity: %+v != %+v", i, got, want)
+		}
+		pairs := [4][2]float64{{want.X, got.X}, {want.Y, got.Y}, {want.VX, got.VX}, {want.VY, got.VY}}
+		for k, p := range pairs {
+			if math.Float64bits(p[0]) != math.Float64bits(p[1]) {
+				t.Fatalf("record %d value %d: bits %x != %x", i, k, math.Float64bits(p[1]), math.Float64bits(p[0]))
+			}
+		}
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d bytes left over", len(buf))
+	}
+}
+
+func TestDecodeBinaryMalformed(t *testing.T) {
+	good := Report{Fleet: "cab", Participant: 1, Slot: 2, X: 3}.AppendBinary(nil)
+	cases := map[string][]byte{
+		"empty":             {},
+		"huge fleet length": {0xFF, 0xFF, 0xFF, 0x7F},
+		"truncated fleet":   {0x05, 'c', 'a'},
+		"truncated values":  good[:len(good)-5],
+		"oversized participant": append(
+			[]byte{0x00}, // empty fleet
+			0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01, // > MaxInt32
+		),
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeBinary(b); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCheckFiniteRejectsNonFinite(t *testing.T) {
+	bad := []Report{
+		{X: math.NaN()},
+		{Y: math.Inf(1)},
+		{VX: math.Inf(-1)},
+		{VY: math.NaN()},
+	}
+	for i, r := range bad {
+		if err := r.CheckFinite(); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("report %d: err = %v, want ErrNonFinite", i, err)
+		}
+	}
+	ok := Report{X: 1e308, Y: -1e308, VX: 0, VY: math.Copysign(0, -1)}
+	if err := ok.CheckFinite(); err != nil {
+		t.Errorf("finite report rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsNonFinite(t *testing.T) {
+	r := Report{Fleet: "cab", Participant: 0, Slot: 0, X: math.NaN()}
+	err := r.Validate(10, 10)
+	if !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("Validate err = %v, want ErrNonFinite", err)
+	}
+	if !strings.Contains(err.Error(), "participant 0") {
+		t.Errorf("error should identify the report: %v", err)
+	}
+}

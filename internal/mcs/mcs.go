@@ -17,6 +17,7 @@ package mcs
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"itscs/internal/mat"
@@ -42,13 +43,31 @@ type Report struct {
 	VY float64 `json:"vy"`
 }
 
-// Validate reports range errors against a collector of the given shape.
+// Validate reports range errors against a collector of the given shape and
+// rejects non-finite payloads (see CheckFinite).
 func (r Report) Validate(participants, slots int) error {
 	if r.Participant < 0 || r.Participant >= participants {
 		return fmt.Errorf("mcs: participant %d outside [0,%d)", r.Participant, participants)
 	}
 	if r.Slot < 0 || r.Slot >= slots {
 		return fmt.Errorf("mcs: slot %d outside [0,%d)", r.Slot, slots)
+	}
+	return r.CheckFinite()
+}
+
+// ErrNonFinite is returned for a report carrying NaN or ±Inf coordinates or
+// velocities. Such values must never reach a sensory matrix: a single NaN
+// poisons the median filter's window and the ASD objective, silently
+// disabling detection for every participant sharing the subspace.
+var ErrNonFinite = errors.New("mcs: non-finite report value")
+
+// CheckFinite errors unless all four payload values are finite.
+func (r Report) CheckFinite() error {
+	for _, v := range [...]float64{r.X, r.Y, r.VX, r.VY} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: participant %d slot %d (x=%v y=%v vx=%v vy=%v)",
+				ErrNonFinite, r.Participant, r.Slot, r.X, r.Y, r.VX, r.VY)
+		}
 	}
 	return nil
 }

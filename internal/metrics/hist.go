@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets are the upper bounds (inclusive) of the latency histogram
+// buckets in milliseconds, doubling from 1 ms; a final overflow bucket
+// catches everything slower. Power-of-two bounds keep Observe cheap and the
+// JSON rendering compact. Both the streaming pipeline (per-phase detection
+// latency) and the WAL (fsync latency) instrument themselves with this one
+// histogram, so /metrics exposes a single consistent bucket scheme.
+var HistBuckets = [...]int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent use.
+// The zero value is ready to use.
+type Histogram struct {
+	counts [len(HistBuckets) + 1]atomic.Uint64
+	sumNS  atomic.Int64
+	n      atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ms := d.Milliseconds()
+	i := 0
+	for ; i < len(HistBuckets); i++ {
+		if ms <= HistBuckets[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.n.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a latency histogram,
+// expvar-style JSON friendly.
+type HistogramSnapshot struct {
+	// Count is the number of observations.
+	Count uint64 `json:"count"`
+	// MeanMS is the arithmetic-mean latency in milliseconds.
+	MeanMS float64 `json:"mean_ms"`
+	// Buckets maps each bucket's upper bound in milliseconds to its count;
+	// the overflow bucket is keyed -1. Empty buckets are omitted.
+	Buckets map[int64]uint64 `json:"buckets"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Buckets: make(map[int64]uint64)}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		bound := int64(-1)
+		if i < len(HistBuckets) {
+			bound = HistBuckets[i]
+		}
+		s.Buckets[bound] = c
+	}
+	s.Count = h.n.Load()
+	if s.Count > 0 {
+		s.MeanMS = float64(h.sumNS.Load()) / float64(s.Count) / 1e6
+	}
+	return s
+}

@@ -27,8 +27,10 @@ import (
 	"time"
 
 	"itscs/internal/core"
+	"itscs/internal/csrecon"
 	"itscs/internal/mat"
 	"itscs/internal/mcs"
+	"itscs/internal/wal"
 )
 
 // Errors reported by Ingest and the result accessors.
@@ -44,7 +46,24 @@ var (
 	// ErrUnknownFleet is returned by Latest and Flush for a fleet that has
 	// never reported.
 	ErrUnknownFleet = errors.New("pipeline: unknown fleet")
+	// ErrNotRestorable is returned by Restore on an engine that has already
+	// ingested reports or been closed, or for a checkpoint whose shape does
+	// not match the configuration.
+	ErrNotRestorable = errors.New("pipeline: engine not restorable")
 )
+
+// ReportLog is the durability hook: when Config.Log is set, every accepted
+// report is appended (and per the log's policy fsynced) before it mutates a
+// shard, so an acked upload survives a crash. wal.Log implements it.
+type ReportLog interface {
+	// Append durably records one report.
+	Append(mcs.Report) error
+	// Sync forces everything appended so far to disk.
+	Sync() error
+	// AppendedIndex reports how many records have been committed; a
+	// checkpoint captures it as its replay origin.
+	AppendedIndex() uint64
+}
 
 // maxCatchUpCloses bounds how many windows a single report may close before
 // the shard fast-forwards past the gap, so one far-future slot cannot stall
@@ -73,6 +92,16 @@ type Config struct {
 	// DisableWarmStart makes every window cold-start CORRECT from the SVD
 	// init instead of carrying the previous window's factorization.
 	DisableWarmStart bool
+	// Log, when set, makes ingestion write-ahead: a report is appended to
+	// the log before it mutates any shard, and an append failure rejects
+	// the report (durability refused is ingestion refused).
+	Log ReportLog
+	// OnWindowClose, when set, is called after windows are cut from a
+	// stream with the cumulative closed-window count. The daemon uses it to
+	// pace checkpoints. It runs on the ingest goroutine inside the engine's
+	// ingestion gate, so it must be cheap and must not call back into the
+	// engine (signal a channel instead).
+	OnWindowClose func(totalClosed uint64)
 	// Core configures the per-window DETECT→CORRECT→CHECK loop.
 	Core core.Config
 }
@@ -240,8 +269,22 @@ func New(cfg Config) (*Engine, error) {
 // Ingest routes one report into its fleet's ring buffer, closing and
 // dispatching any windows the report's slot has passed. It is the
 // mcs.Ingestor entry point: rejections are returned (and counted) so the
-// transport can acknowledge each upload honestly.
+// transport can acknowledge each upload honestly. With Config.Log set the
+// report is appended to the write-ahead log before any shard state
+// changes, so every acked report is as durable as the log's fsync policy.
 func (e *Engine) Ingest(r mcs.Report) error {
+	return e.ingest(r, false)
+}
+
+// Replay is Ingest for WAL recovery: the record is already in the log, so
+// it is not re-appended, and acceptance is counted under Stats.Replayed.
+// Rejections (duplicates of cells the checkpoint already holds, slots
+// behind a restored watermark) are expected and harmless.
+func (e *Engine) Replay(r mcs.Report) error {
+	return e.ingest(r, true)
+}
+
+func (e *Engine) ingest(r mcs.Report, replay bool) error {
 	e.lifeMu.RLock()
 	defer e.lifeMu.RUnlock()
 	if e.closed {
@@ -256,20 +299,44 @@ func (e *Engine) Ingest(r mcs.Report) error {
 		e.c.rejected.Add(1)
 		return fmt.Errorf("pipeline: negative slot %d", r.Slot)
 	}
+	if err := r.CheckFinite(); err != nil {
+		e.c.rejected.Add(1)
+		e.c.nonFinite.Add(1)
+		return err
+	}
 	sh, err := e.shard(r.Fleet)
 	if err != nil {
 		e.c.rejected.Add(1)
 		return err
 	}
+	if e.cfg.Log != nil && !replay {
+		// Write-ahead: the log sees the report before the shard does. A
+		// record logged but rejected below (duplicate, late) just repeats
+		// that rejection on replay; a record applied but not logged would
+		// be silently lost on crash, so this order is the safe one.
+		if err := e.cfg.Log.Append(r); err != nil {
+			e.c.rejected.Add(1)
+			return fmt.Errorf("pipeline: wal append: %w", err)
+		}
+	}
+	closedBefore := e.c.windowsClosed.Load()
 	jobs, err := sh.ingest(r, e.cfg, &e.c)
 	for _, j := range jobs {
 		e.enqueue(j)
+	}
+	if e.cfg.OnWindowClose != nil {
+		if closedAfter := e.c.windowsClosed.Load(); closedAfter != closedBefore {
+			e.cfg.OnWindowClose(closedAfter)
+		}
 	}
 	if err != nil {
 		e.c.rejected.Add(1)
 		return err
 	}
 	e.c.ingested.Add(1)
+	if replay {
+		e.c.replayed.Add(1)
+	}
 	return nil
 }
 
@@ -300,10 +367,23 @@ func (e *Engine) Flush(fleet string) error {
 	return nil
 }
 
-// Close stops ingestion, lets the workers drain every queued window, and
-// then closes all subscription channels. It is idempotent and safe to call
-// concurrently with Ingest.
+// Close stops ingestion, flushes every fleet's still-open partial window
+// through the detection loop, lets the workers drain the queue, and then
+// closes all subscription channels: a graceful shutdown loses no accepted
+// report. It is idempotent and safe to call concurrently with Ingest. See
+// Abort for the non-draining variant.
 func (e *Engine) Close() {
+	e.shutdown(true)
+}
+
+// Abort stops the engine without flushing open windows or draining the
+// dispatch queue — the fate of a process that crashed. Tests use it to
+// simulate a SIGKILL before exercising WAL recovery.
+func (e *Engine) Abort() {
+	e.shutdown(false)
+}
+
+func (e *Engine) shutdown(drain bool) {
 	e.lifeMu.Lock()
 	if e.closed {
 		e.lifeMu.Unlock()
@@ -312,6 +392,34 @@ func (e *Engine) Close() {
 	}
 	e.closed = true
 	e.lifeMu.Unlock()
+	if drain {
+		// Flush each shard's open partial window; its reports were accepted
+		// (and possibly acked durable) so dropping them on shutdown would
+		// betray the transport's acknowledgements.
+		for _, sh := range e.allShards() {
+			sh.mu.Lock()
+			j, ok := sh.closeWindow(e.cfg)
+			sh.mu.Unlock()
+			e.c.windowsClosed.Add(1)
+			if ok {
+				e.enqueue(j)
+			} else {
+				e.c.windowsEmpty.Add(1)
+			}
+		}
+	} else {
+		// Crash semantics: discard whatever is queued so workers exit at
+		// once; the WAL (when configured) already holds the reports.
+	drop:
+		for {
+			select {
+			case <-e.queue:
+				e.c.windowsDropped.Add(1)
+			default:
+				break drop
+			}
+		}
+	}
 	close(e.queue)
 	e.wg.Wait()
 	e.subMu.Lock()
@@ -321,6 +429,133 @@ func (e *Engine) Close() {
 		close(ch)
 	}
 	e.subMu.Unlock()
+}
+
+// allShards snapshots the shard list.
+func (e *Engine) allShards() []*shard {
+	e.shardMu.Lock()
+	defer e.shardMu.Unlock()
+	shards := make([]*shard, 0, len(e.shards))
+	for _, sh := range e.shards {
+		shards = append(shards, sh)
+	}
+	return shards
+}
+
+// Checkpoint freezes the engine's durable state: every shard's ring
+// buffers, window position, and warm-start factors, stamped with the log
+// index the snapshot is consistent with. When a ReportLog is configured it
+// is synced first, so the checkpoint never references records less durable
+// than itself. Recovery = Restore(checkpoint) + Replay of log records from
+// Checkpoint.LogIndex on. Checkpointing a Closed engine is allowed — the
+// daemon writes a final checkpoint after its shutdown drain so a clean
+// restart replays nothing.
+func (e *Engine) Checkpoint() (*wal.Checkpoint, error) {
+	// Quiesce ingestion for an instant: with the write lock held no report
+	// is between its log append and its shard apply, so AppendedIndex is a
+	// true lower bound for the shard snapshots taken after release (records
+	// applied in between simply replay as duplicates).
+	e.lifeMu.Lock()
+	var logIdx uint64
+	if e.cfg.Log != nil {
+		logIdx = e.cfg.Log.AppendedIndex()
+	}
+	e.lifeMu.Unlock()
+	if e.cfg.Log != nil {
+		if err := e.cfg.Log.Sync(); err != nil {
+			return nil, fmt.Errorf("pipeline: checkpoint sync: %w", err)
+		}
+	}
+	ck := &wal.Checkpoint{
+		LogIndex:     logIdx,
+		Participants: e.cfg.Participants,
+		WindowSlots:  e.cfg.WindowSlots,
+		HopSlots:     e.cfg.HopSlots,
+	}
+	for _, sh := range e.allShards() {
+		sh.mu.Lock()
+		sc := wal.ShardCheckpoint{
+			Fleet:   sh.fleet,
+			Start:   sh.start,
+			Seq:     sh.seq,
+			WarmSeq: sh.warmSeq,
+			SX:      sh.sx.Clone(),
+			SY:      sh.sy.Clone(),
+			VX:      sh.vx.Clone(),
+			VY:      sh.vy.Clone(),
+			EX:      sh.ex.Clone(),
+		}
+		if sh.warm != nil {
+			sc.WarmLX, sc.WarmRX = sh.warm.X.L.Clone(), sh.warm.X.R.Clone()
+			sc.WarmLY, sc.WarmRY = sh.warm.Y.L.Clone(), sh.warm.Y.R.Clone()
+		}
+		sh.mu.Unlock()
+		ck.Shards = append(ck.Shards, sc)
+	}
+	return ck, nil
+}
+
+// Restore rebuilds the engine's shards from a checkpoint. It must run on a
+// fresh engine — before any report has been ingested — and the checkpoint's
+// shape must match the configuration. After Restore, replay the log tail
+// through Replay and resume normal ingestion.
+func (e *Engine) Restore(ck *wal.Checkpoint) error {
+	if ck.Participants != e.cfg.Participants || ck.WindowSlots != e.cfg.WindowSlots || ck.HopSlots != e.cfg.HopSlots {
+		return fmt.Errorf("%w: checkpoint shape %d/%d/%d vs config %d/%d/%d",
+			ErrNotRestorable, ck.Participants, ck.WindowSlots, ck.HopSlots,
+			e.cfg.Participants, e.cfg.WindowSlots, e.cfg.HopSlots)
+	}
+	n, capSlots := e.cfg.Participants, e.cfg.WindowSlots+e.cfg.HopSlots
+	for i := range ck.Shards {
+		sc := &ck.Shards[i]
+		for name, m := range map[string]*mat.Dense{
+			"SX": sc.SX, "SY": sc.SY, "VX": sc.VX, "VY": sc.VY, "EX": sc.EX,
+		} {
+			if m == nil {
+				return fmt.Errorf("%w: shard %q missing ring %s", ErrNotRestorable, sc.Fleet, name)
+			}
+			if mr, mc := m.Dims(); mr != n || mc != capSlots {
+				return fmt.Errorf("%w: shard %q ring %s is %dx%d, want %dx%d",
+					ErrNotRestorable, sc.Fleet, name, mr, mc, n, capSlots)
+			}
+		}
+	}
+	if len(ck.Shards) > e.cfg.MaxFleets {
+		return fmt.Errorf("%w: checkpoint holds %d shards, max-fleets is %d",
+			ErrNotRestorable, len(ck.Shards), e.cfg.MaxFleets)
+	}
+	e.lifeMu.Lock()
+	defer e.lifeMu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.shardMu.Lock()
+	defer e.shardMu.Unlock()
+	if len(e.shards) != 0 {
+		return fmt.Errorf("%w: %d shards already live", ErrNotRestorable, len(e.shards))
+	}
+	for i := range ck.Shards {
+		sc := &ck.Shards[i]
+		sh := &shard{
+			fleet:   sc.Fleet,
+			start:   sc.Start,
+			seq:     sc.Seq,
+			warmSeq: sc.WarmSeq,
+			sx:      sc.SX,
+			sy:      sc.SY,
+			vx:      sc.VX,
+			vy:      sc.VY,
+			ex:      sc.EX,
+		}
+		if sc.WarmLX != nil {
+			sh.warm = &core.WarmState{
+				X: csrecon.Factors{L: sc.WarmLX, R: sc.WarmRX},
+				Y: csrecon.Factors{L: sc.WarmLY, R: sc.WarmRY},
+			}
+		}
+		e.shards[sh.fleet] = sh
+	}
+	return nil
 }
 
 // Subscribe registers a result channel with the given buffer (minimum 1).
@@ -382,9 +617,11 @@ func (e *Engine) Fleets() []string {
 func (e *Engine) Stats() Stats {
 	s := Stats{
 		Ingested:         e.c.ingested.Load(),
+		Replayed:         e.c.replayed.Load(),
 		Rejected:         e.c.rejected.Load(),
 		Late:             e.c.late.Load(),
 		Duplicates:       e.c.duplicates.Load(),
+		NonFinite:        e.c.nonFinite.Load(),
 		WindowsClosed:    e.c.windowsClosed.Load(),
 		WindowsEmpty:     e.c.windowsEmpty.Load(),
 		WindowsSkipped:   e.c.windowsSkipped.Load(),

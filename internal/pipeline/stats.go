@@ -2,74 +2,25 @@ package pipeline
 
 import (
 	"sync/atomic"
-	"time"
+
+	"itscs/internal/metrics"
 )
 
-// histBuckets are the upper bounds (inclusive) of the latency histogram
-// buckets in milliseconds, doubling from 1 ms; a final overflow bucket
-// catches everything slower. Power-of-two bounds keep Observe cheap and the
-// JSON rendering compact.
-var histBuckets = [...]int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
+// histogram and HistogramSnapshot alias the shared instrumentation types so
+// the engine and the WAL report latencies with one bucket scheme.
+type histogram = metrics.Histogram
 
-// histogram is a fixed-bucket latency histogram safe for concurrent use.
-type histogram struct {
-	counts [len(histBuckets) + 1]atomic.Uint64
-	sumNS  atomic.Int64
-	n      atomic.Uint64
-}
-
-// Observe records one duration.
-func (h *histogram) Observe(d time.Duration) {
-	ms := d.Milliseconds()
-	i := 0
-	for ; i < len(histBuckets); i++ {
-		if ms <= histBuckets[i] {
-			break
-		}
-	}
-	h.counts[i].Add(1)
-	h.sumNS.Add(int64(d))
-	h.n.Add(1)
-}
-
-// HistogramSnapshot is a point-in-time copy of a latency histogram,
-// expvar-style JSON friendly.
-type HistogramSnapshot struct {
-	// Count is the number of observations.
-	Count uint64 `json:"count"`
-	// MeanMS is the arithmetic-mean latency in milliseconds.
-	MeanMS float64 `json:"mean_ms"`
-	// Buckets maps each bucket's upper bound in milliseconds to its count;
-	// the overflow bucket is keyed -1. Empty buckets are omitted.
-	Buckets map[int64]uint64 `json:"buckets"`
-}
-
-func (h *histogram) Snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{Buckets: make(map[int64]uint64)}
-	for i := range h.counts {
-		c := h.counts[i].Load()
-		if c == 0 {
-			continue
-		}
-		bound := int64(-1)
-		if i < len(histBuckets) {
-			bound = histBuckets[i]
-		}
-		s.Buckets[bound] = c
-	}
-	s.Count = h.n.Load()
-	if s.Count > 0 {
-		s.MeanMS = float64(h.sumNS.Load()) / float64(s.Count) / 1e6
-	}
-	return s
-}
+// HistogramSnapshot is a point-in-time copy of a latency histogram.
+type HistogramSnapshot = metrics.HistogramSnapshot
 
 // counters aggregates the engine's monotonic event counts.
 type counters struct {
 	ingested        atomic.Uint64
+	replayed        atomic.Uint64
 	rejected        atomic.Uint64
 	late            atomic.Uint64
 	duplicates      atomic.Uint64
+	nonFinite       atomic.Uint64
 	windowsClosed   atomic.Uint64
 	windowsEmpty    atomic.Uint64
 	windowsSkipped  atomic.Uint64
@@ -84,13 +35,17 @@ type counters struct {
 // Stats is a point-in-time snapshot of the engine's instrumentation; it
 // marshals directly to the daemon's /metrics JSON.
 type Stats struct {
-	// Ingested counts accepted reports; Rejected counts refused ones, of
-	// which Late arrived below their fleet's retention horizon and
-	// Duplicates targeted an already-filled cell.
+	// Ingested counts accepted reports; Replayed counts the subset that
+	// arrived through WAL recovery rather than the live transport. Rejected
+	// counts refused reports, of which Late arrived below their fleet's
+	// retention horizon, Duplicates targeted an already-filled cell, and
+	// NonFinite carried NaN or ±Inf coordinates or velocities.
 	Ingested   uint64 `json:"ingested"`
+	Replayed   uint64 `json:"replayed"`
 	Rejected   uint64 `json:"rejected"`
 	Late       uint64 `json:"late"`
 	Duplicates uint64 `json:"duplicates"`
+	NonFinite  uint64 `json:"non_finite"`
 	// WindowsClosed counts windows cut from the streams; WindowsEmpty were
 	// discarded for holding no observations, WindowsSkipped were jumped
 	// over to catch up after a large slot gap, WindowsDropped fell out of

@@ -1,0 +1,192 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"itscs/internal/mat"
+)
+
+// fixtureCheckpoint builds a two-shard checkpoint with distinctive values.
+func fixtureCheckpoint() *Checkpoint {
+	ring := func(seed float64) *mat.Dense {
+		m := mat.New(3, 6)
+		m.Apply(func(i, j int, _ float64) float64 { return seed + float64(10*i+j) })
+		return m
+	}
+	factors := func(seed float64) *mat.Dense {
+		m := mat.New(3, 2)
+		m.Apply(func(i, j int, _ float64) float64 { return seed * float64(i+j+1) })
+		return m
+	}
+	return &Checkpoint{
+		LogIndex:     1234,
+		Participants: 3,
+		WindowSlots:  4,
+		HopSlots:     2,
+		Shards: []ShardCheckpoint{
+			{
+				Fleet: "cab", Start: 8, Seq: 4, WarmSeq: 3,
+				SX: ring(1), SY: ring(2), VX: ring(3), VY: ring(4), EX: ring(0),
+				WarmLX: factors(1.5), WarmRX: factors(2.5),
+				WarmLY: factors(3.5), WarmRY: factors(4.5),
+			},
+			{
+				// No warm state yet, empty fleet name (the default fleet).
+				Fleet: "", Start: 0, Seq: 0, WarmSeq: -1,
+				SX: ring(9), SY: ring(8), VX: ring(7), VY: ring(6), EX: ring(5),
+			},
+		},
+	}
+}
+
+func matEqual(a, b *mat.Dense) bool {
+	ar, ac := a.Dims()
+	br, bc := b.Dims()
+	if ar != br || ac != bc {
+		return false
+	}
+	for i := 0; i < ar; i++ {
+		for j := 0; j < ac; j++ {
+			if a.At(i, j) != b.At(i, j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ck := fixtureCheckpoint()
+	path, err := WriteCheckpoint(dir, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != dir {
+		t.Fatalf("checkpoint written outside dir: %s", path)
+	}
+	back, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.LogIndex != ck.LogIndex || back.Participants != ck.Participants ||
+		back.WindowSlots != ck.WindowSlots || back.HopSlots != ck.HopSlots {
+		t.Fatalf("header mismatch: %+v", back)
+	}
+	if len(back.Shards) != len(ck.Shards) {
+		t.Fatalf("shards = %d, want %d", len(back.Shards), len(ck.Shards))
+	}
+	for i := range ck.Shards {
+		want, got := &ck.Shards[i], &back.Shards[i]
+		if got.Fleet != want.Fleet || got.Start != want.Start || got.Seq != want.Seq || got.WarmSeq != want.WarmSeq {
+			t.Fatalf("shard %d scalars = %+v", i, got)
+		}
+		pairs := [][2]*mat.Dense{
+			{got.SX, want.SX}, {got.SY, want.SY}, {got.VX, want.VX},
+			{got.VY, want.VY}, {got.EX, want.EX},
+		}
+		for k, p := range pairs {
+			if !matEqual(p[0], p[1]) {
+				t.Fatalf("shard %d ring %d mismatch", i, k)
+			}
+		}
+		if want.WarmLX == nil {
+			if got.WarmLX != nil {
+				t.Fatalf("shard %d grew warm state", i)
+			}
+			continue
+		}
+		warm := [][2]*mat.Dense{
+			{got.WarmLX, want.WarmLX}, {got.WarmRX, want.WarmRX},
+			{got.WarmLY, want.WarmLY}, {got.WarmRY, want.WarmRY},
+		}
+		for k, p := range warm {
+			if !matEqual(p[0], p[1]) {
+				t.Fatalf("shard %d warm factor %d mismatch", i, k)
+			}
+		}
+	}
+}
+
+func TestLatestCheckpointPicksNewestSkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	old := fixtureCheckpoint()
+	old.LogIndex = 100
+	if _, err := WriteCheckpoint(dir, old); err != nil {
+		t.Fatal(err)
+	}
+	newer := fixtureCheckpoint()
+	newer.LogIndex = 200
+	newPath, err := WriteCheckpoint(dir, newer)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ck, skipped, err := LatestCheckpoint(dir)
+	if err != nil || skipped != 0 || ck.LogIndex != 200 {
+		t.Fatalf("latest = %v skipped %d err %v, want index 200", ck, skipped, err)
+	}
+
+	// Corrupt the newest: recovery must fall back to the older one.
+	data, err := os.ReadFile(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(newPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck, skipped, err = LatestCheckpoint(dir)
+	if err != nil || skipped != 1 || ck.LogIndex != 100 {
+		t.Fatalf("fallback = %v skipped %d err %v, want index 100 skipped 1", ck, skipped, err)
+	}
+
+	// A truncated file is also just skipped.
+	if err := os.Truncate(newPath, 40); err != nil {
+		t.Fatal(err)
+	}
+	if _, skipped, err = LatestCheckpoint(dir); err != nil || skipped != 1 {
+		t.Fatalf("truncated skip = %d err %v", skipped, err)
+	}
+}
+
+func TestLatestCheckpointEmpty(t *testing.T) {
+	if _, _, err := LatestCheckpoint(t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+	// A directory that does not exist yet is the same as an empty one.
+	if _, _, err := LatestCheckpoint(filepath.Join(t.TempDir(), "nope")); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("missing dir err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestPruneCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	for _, idx := range []uint64{10, 20, 30, 40} {
+		ck := fixtureCheckpoint()
+		ck.LogIndex = idx
+		if _, err := WriteCheckpoint(dir, ck); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := PruneCheckpoints(dir, 2)
+	if err != nil || removed != 2 {
+		t.Fatalf("removed = %d err %v, want 2", removed, err)
+	}
+	paths, err := listCheckpoints(dir)
+	if err != nil || len(paths) != 2 {
+		t.Fatalf("paths = %v err %v", paths, err)
+	}
+	ck, _, err := LatestCheckpoint(dir)
+	if err != nil || ck.LogIndex != 40 {
+		t.Fatalf("latest after prune = %v err %v", ck, err)
+	}
+	// No temp files may linger.
+	tmps, _ := filepath.Glob(filepath.Join(dir, ".tmp-*"))
+	if len(tmps) != 0 {
+		t.Errorf("temp files left behind: %v", tmps)
+	}
+}

@@ -1,0 +1,50 @@
+package wal
+
+import (
+	"math"
+	"testing"
+
+	"itscs/internal/mcs"
+)
+
+// FuzzDecodeRecord checks that the binary report decoder never panics on
+// arbitrary bytes and that whatever it accepts round-trips through the
+// encoder bit-exactly.
+func FuzzDecodeRecord(f *testing.F) {
+	seed := func(r mcs.Report) { f.Add(r.AppendBinary(nil)) }
+	seed(mcs.Report{Fleet: "cab", Participant: 3, Slot: 17, X: 1.5, Y: -2.5, VX: 0.25, VY: -0.125})
+	seed(mcs.Report{}) // empty fleet, zero everything
+	seed(mcs.Report{Fleet: "x", X: math.NaN(), Y: math.Inf(1), VX: math.Inf(-1), VY: -0.0})
+	seed(mcs.Report{Fleet: "fleet-with-a-long-name", Participant: 1 << 20, Slot: 1 << 20, X: 1e308})
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}) // huge uvarint
+	f.Add([]byte{0x03, 'c', 'a'})                                             // truncated fleet
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, n, err := mcs.DecodeBinary(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		enc := r.AppendBinary(nil)
+		back, m, err := mcs.DecodeBinary(enc)
+		if err != nil {
+			t.Fatalf("re-decode own encoding: %v", err)
+		}
+		if m != len(enc) {
+			t.Fatalf("re-decode consumed %d of %d bytes", m, len(enc))
+		}
+		if back.Fleet != r.Fleet || back.Participant != r.Participant || back.Slot != r.Slot {
+			t.Fatalf("round trip changed identity: %+v -> %+v", r, back)
+		}
+		pairs := [4][2]float64{{r.X, back.X}, {r.Y, back.Y}, {r.VX, back.VX}, {r.VY, back.VY}}
+		for i, p := range pairs {
+			// Bit-exact comparison: NaN payloads and signed zeros must survive.
+			if math.Float64bits(p[0]) != math.Float64bits(p[1]) {
+				t.Fatalf("round trip changed value %d: %x -> %x", i, math.Float64bits(p[0]), math.Float64bits(p[1]))
+			}
+		}
+	})
+}

@@ -1,0 +1,779 @@
+// Package wal gives the streaming engine a durable spine: a segmented,
+// CRC32C-framed write-ahead log of accepted location reports plus atomic
+// checkpoints of per-fleet shard state, so a crashed itscs-serve restarts
+// from its newest checkpoint and replays only the log tail instead of
+// silently losing every open window (participants on a 30 s upload cadence
+// cannot re-send history).
+//
+// Log layout: a data directory holds numbered segment files
+// ("wal-<hex>.seg"), each beginning with a 20-byte header (magic, version,
+// and the global index of its first record) followed by frames of
+//
+//	uint32 payload length | uint32 CRC32C(payload) | payload
+//
+// where the payload is one binary-encoded mcs.Report. Appends flow through
+// a single committer goroutine that batches concurrent writers into one
+// write (group commit) and applies the configured fsync policy: SyncAlways
+// makes every Append durable before it returns, SyncInterval bounds data
+// loss to a time window, SyncNever leaves flushing to the OS. Recovery
+// truncates a torn tail off the final segment and skips (and counts) the
+// damaged remainder of any earlier segment rather than refusing to start.
+// Compact drops segments wholly behind the newest checkpoint.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"itscs/internal/mcs"
+	"itscs/internal/metrics"
+)
+
+// Errors returned by the log.
+var (
+	// ErrClosed is returned by Append and Sync once the log is closed.
+	ErrClosed = errors.New("wal: log closed")
+)
+
+// Sync policies for the append path.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs every group commit before acknowledging it: an
+	// acked report survives any crash. Slowest, strongest.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs at most every Options.SyncEvery: a crash loses
+	// at most that window of acked reports.
+	SyncInterval
+	// SyncNever leaves flushing to the operating system: a process crash
+	// loses nothing, a machine crash loses whatever the OS had buffered.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the daemon's -fsync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Options parameterizes a Log.
+type Options struct {
+	// Sync selects the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncEvery is the flush cadence under SyncInterval (default 100ms).
+	SyncEvery time.Duration
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 8 MiB). Only whole closed segments can be compacted away.
+	SegmentBytes int64
+}
+
+// DefaultOptions returns the production defaults.
+func DefaultOptions() Options {
+	return Options{Sync: SyncAlways, SyncEvery: 100 * time.Millisecond, SegmentBytes: 8 << 20}
+}
+
+func (o *Options) fillDefaults() {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+}
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".seg"
+	segMagic   = "ITSCSWAL"
+	segVersion = 1
+	segHdrLen  = len(segMagic) + 4 + 8 // magic | u32 version | u64 firstIndex
+	frameHdr   = 8                     // u32 length | u32 crc32c
+	// maxPayload bounds a frame's claimed payload so a corrupt length
+	// cannot drive a huge allocation; binary reports are tens of bytes.
+	maxPayload = 1 << 20
+)
+
+// castagnoli is the CRC32C table; the Castagnoli polynomial has hardware
+// support on both amd64 and arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// segInfo is one on-disk segment: its path and the global index of its
+// first record. A segment's records end where the next segment's begin.
+type segInfo struct {
+	path  string
+	first uint64
+}
+
+// appendReq is one writer waiting on the committer. A nil payload is a sync
+// barrier: the committer fsyncs regardless of policy before acknowledging.
+type appendReq struct {
+	payload []byte
+	done    chan error
+}
+
+// Log is the durable report log. All methods are safe for concurrent use.
+type Log struct {
+	dir string
+	opt Options
+
+	// lifeMu orders Append/Sync against Close, exactly like the pipeline's
+	// ingest gate: senders hold the read side across their channel send so
+	// the request channel only closes once no sender is in flight.
+	lifeMu sync.RWMutex
+	closed bool
+
+	reqs chan appendReq
+	done chan struct{}
+
+	// segMu guards the segment list (committer appends on rotation,
+	// Compact removes from the front, Replay snapshots it).
+	segMu sync.Mutex
+	segs  []segInfo
+
+	// committer-owned state.
+	active    *os.File
+	activeLen int64
+	nextIdx   uint64 // index the next appended record will get
+	dirty     bool   // bytes written since the last fsync
+	lastSync  time.Time
+
+	appended atomic.Uint64 // committed record count (== next index)
+
+	st struct {
+		records      atomic.Uint64
+		bytes        atomic.Uint64
+		batches      atomic.Uint64
+		fsyncs       atomic.Uint64
+		rotations    atomic.Uint64
+		compacted    atomic.Uint64
+		corruptSegs  atomic.Uint64
+		truncatedB   atomic.Uint64
+		replayed     atomic.Uint64
+		replaySkips  atomic.Uint64
+		fsyncLatency metrics.Histogram
+	}
+}
+
+// Stats is a point-in-time snapshot of the log's instrumentation.
+type Stats struct {
+	// Dir and Policy echo the configuration.
+	Dir    string `json:"dir"`
+	Policy string `json:"fsync_policy"`
+	// Records and Bytes count appended records and frame bytes; Batches
+	// counts group commits (Records/Batches is the mean batch size).
+	Records uint64 `json:"records"`
+	Bytes   uint64 `json:"bytes_appended"`
+	Batches uint64 `json:"batches"`
+	// Fsyncs counts file syncs; FsyncLatency is their latency histogram.
+	Fsyncs       uint64                    `json:"fsyncs"`
+	FsyncLatency metrics.HistogramSnapshot `json:"fsync_latency_ms"`
+	// Segments is the live segment count; Rotations and Compacted count
+	// segments opened after the first and removed by compaction.
+	Segments  int    `json:"segments"`
+	Rotations uint64 `json:"rotations"`
+	Compacted uint64 `json:"compacted_segments"`
+	// CorruptSegments counts segments whose damaged remainder recovery or
+	// replay skipped; TruncatedBytes is the torn tail cut off the final
+	// segment at open; ReplaySkipped counts records lost inside damaged
+	// regions during replay.
+	CorruptSegments uint64 `json:"corrupt_segments"`
+	TruncatedBytes  uint64 `json:"truncated_bytes"`
+	Replayed        uint64 `json:"replayed_records"`
+	ReplaySkipped   uint64 `json:"replay_skipped_records"`
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	l.segMu.Lock()
+	segs := len(l.segs)
+	l.segMu.Unlock()
+	return Stats{
+		Dir:             l.dir,
+		Policy:          l.opt.Sync.String(),
+		Records:         l.st.records.Load(),
+		Bytes:           l.st.bytes.Load(),
+		Batches:         l.st.batches.Load(),
+		Fsyncs:          l.st.fsyncs.Load(),
+		FsyncLatency:    l.st.fsyncLatency.Snapshot(),
+		Segments:        segs,
+		Rotations:       l.st.rotations.Load(),
+		Compacted:       l.st.compacted.Load(),
+		CorruptSegments: l.st.corruptSegs.Load(),
+		TruncatedBytes:  l.st.truncatedB.Load(),
+		Replayed:        l.st.replayed.Load(),
+		ReplaySkipped:   l.st.replaySkips.Load(),
+	}
+}
+
+// Open opens (or creates) the log in dir, recovering from whatever a crash
+// left behind: the final segment's torn tail is truncated, and a damaged
+// region inside an earlier segment marks it corrupt without aborting.
+func Open(dir string, opt Options) (*Log, error) {
+	opt.fillDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{
+		dir:  dir,
+		opt:  opt,
+		reqs: make(chan appendReq, 256),
+		done: make(chan struct{}),
+	}
+	if err := l.scan(); err != nil {
+		return nil, err
+	}
+	l.lastSync = time.Now()
+	go l.commit()
+	return l, nil
+}
+
+// segPath names the i-th segment created over the log's lifetime.
+func (l *Log) segPath(created uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%s%016x%s", segPrefix, created, segSuffix))
+}
+
+// listSegments returns the segment paths in dir, sorted by creation order
+// (the zero-padded hex name).
+func listSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, segSuffix) {
+			paths = append(paths, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// segCreation extracts the creation number from a segment path.
+func segCreation(path string) uint64 {
+	name := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(path), segPrefix), segSuffix)
+	n, _ := strconv.ParseUint(name, 16, 64)
+	return n
+}
+
+// scan inventories the existing segments, repairs the tail, and opens the
+// active segment for appending. Segments with an unreadable header are
+// quarantined (renamed aside); a damaged interior segment is kept for
+// whatever Replay can still read out of it, because the next segment's
+// header re-anchors the index sequence; the final segment is truncated to
+// its last whole frame (the torn tail a crash mid-write leaves behind).
+func (l *Log) scan() error {
+	paths, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return l.createSegment(0, 0)
+	}
+	type scanned struct {
+		path     string
+		first    uint64
+		valid    uint64
+		validEnd int64
+		err      error
+	}
+	var infos []scanned
+	for _, p := range paths {
+		first, valid, validEnd, serr := scanSegment(p)
+		if first == ^uint64(0) {
+			l.st.corruptSegs.Add(1)
+			if rerr := os.Rename(p, p+".corrupt"); rerr != nil {
+				return fmt.Errorf("wal: quarantine %s: %w", p, rerr)
+			}
+			continue
+		}
+		infos = append(infos, scanned{path: p, first: first, valid: valid, validEnd: validEnd, err: serr})
+	}
+	if len(infos) == 0 {
+		return l.createSegment(segCreation(paths[len(paths)-1])+1, 0)
+	}
+	for _, in := range infos[:len(infos)-1] {
+		if in.err != nil {
+			l.st.corruptSegs.Add(1)
+		}
+		l.segs = append(l.segs, segInfo{path: in.path, first: in.first})
+	}
+	last := infos[len(infos)-1]
+	if last.err != nil {
+		if fi, statErr := os.Stat(last.path); statErr == nil && fi.Size() > last.validEnd {
+			l.st.truncatedB.Add(uint64(fi.Size() - last.validEnd))
+		}
+		if terr := os.Truncate(last.path, last.validEnd); terr != nil {
+			return fmt.Errorf("wal: truncate torn tail of %s: %w", last.path, terr)
+		}
+	}
+	l.segs = append(l.segs, segInfo{path: last.path, first: last.first})
+	return l.openActive(last.path, last.first+last.valid)
+}
+
+// openActive opens path for appending and seeds the committer state.
+func (l *Log) openActive(path string, nextIdx uint64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open active segment: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: stat active segment: %w", err)
+	}
+	l.active = f
+	l.activeLen = fi.Size()
+	l.nextIdx = nextIdx
+	l.appended.Store(nextIdx)
+	return nil
+}
+
+// createSegment starts segment file number `created` whose first record
+// will carry global index firstIdx, and makes it the active segment.
+func (l *Log) createSegment(created, firstIdx uint64) error {
+	path := l.segPath(created)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	hdr := make([]byte, segHdrLen)
+	copy(hdr, segMagic)
+	binary.LittleEndian.PutUint32(hdr[len(segMagic):], segVersion)
+	binary.LittleEndian.PutUint64(hdr[len(segMagic)+4:], firstIdx)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync segment header: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.segMu.Lock()
+	l.segs = append(l.segs, segInfo{path: path, first: firstIdx})
+	l.segMu.Unlock()
+	l.active = f
+	l.activeLen = int64(segHdrLen)
+	l.nextIdx = firstIdx
+	l.appended.Store(firstIdx)
+	return nil
+}
+
+// scanSegment walks a segment's frames. It returns the header's first
+// index (^0 if the header itself is unreadable), the count of valid
+// records, the file offset just past the last valid frame, and the error
+// that stopped the scan (nil for a clean segment).
+func scanSegment(path string) (first uint64, valid uint64, validEnd int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ^uint64(0), 0, 0, err
+	}
+	defer f.Close()
+	hdr := make([]byte, segHdrLen)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return ^uint64(0), 0, 0, fmt.Errorf("wal: segment header: %w", err)
+	}
+	if string(hdr[:len(segMagic)]) != segMagic {
+		return ^uint64(0), 0, 0, fmt.Errorf("wal: bad segment magic in %s", path)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[len(segMagic):]); v != segVersion {
+		return ^uint64(0), 0, 0, fmt.Errorf("wal: segment version %d unsupported", v)
+	}
+	first = binary.LittleEndian.Uint64(hdr[len(segMagic)+4:])
+	validEnd = int64(segHdrLen)
+	fh := make([]byte, frameHdr)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, fh); err != nil {
+			if errors.Is(err, io.EOF) {
+				return first, valid, validEnd, nil
+			}
+			return first, valid, validEnd, fmt.Errorf("wal: torn frame header: %w", err)
+		}
+		plen := binary.LittleEndian.Uint32(fh)
+		want := binary.LittleEndian.Uint32(fh[4:])
+		if plen == 0 || plen > maxPayload {
+			return first, valid, validEnd, fmt.Errorf("wal: implausible frame length %d", plen)
+		}
+		if cap(payload) < int(plen) {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return first, valid, validEnd, fmt.Errorf("wal: torn frame payload: %w", err)
+		}
+		if crc32.Checksum(payload, castagnoli) != want {
+			return first, valid, validEnd, fmt.Errorf("wal: frame checksum mismatch")
+		}
+		valid++
+		validEnd += int64(frameHdr) + int64(plen)
+	}
+}
+
+// Append encodes the report as one frame and hands it to the committer,
+// returning once the record is written (and, under SyncAlways, fsynced).
+// Concurrent appenders are batched into a single write and at most one
+// fsync — group commit.
+func (l *Log) Append(r mcs.Report) error {
+	payload := r.AppendBinary(make([]byte, 0, 64))
+	req := appendReq{payload: payload, done: make(chan error, 1)}
+	l.lifeMu.RLock()
+	if l.closed {
+		l.lifeMu.RUnlock()
+		return ErrClosed
+	}
+	l.reqs <- req
+	l.lifeMu.RUnlock()
+	return <-req.done
+}
+
+// Sync forces an fsync of everything appended so far, regardless of
+// policy. Checkpoint writers call it so a checkpoint never references log
+// records less durable than itself.
+func (l *Log) Sync() error {
+	req := appendReq{done: make(chan error, 1)}
+	l.lifeMu.RLock()
+	if l.closed {
+		l.lifeMu.RUnlock()
+		return ErrClosed
+	}
+	l.reqs <- req
+	l.lifeMu.RUnlock()
+	return <-req.done
+}
+
+// AppendedIndex reports how many records have been committed: the next
+// append receives this index. Checkpoints capture it as their replay
+// origin.
+func (l *Log) AppendedIndex() uint64 { return l.appended.Load() }
+
+// Close drains pending appends, fsyncs, and closes the active segment.
+func (l *Log) Close() error {
+	l.lifeMu.Lock()
+	if l.closed {
+		l.lifeMu.Unlock()
+		<-l.done
+		return nil
+	}
+	l.closed = true
+	l.lifeMu.Unlock()
+	close(l.reqs)
+	<-l.done
+	var err error
+	if l.dirty {
+		err = l.fsync()
+	}
+	if cerr := l.active.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// commit is the single committer goroutine: it batches queued appends into
+// one write, applies the fsync policy, and acknowledges every waiter.
+func (l *Log) commit() {
+	defer close(l.done)
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if l.opt.Sync == SyncInterval {
+		ticker = time.NewTicker(l.opt.SyncEvery)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	for {
+		select {
+		case req, ok := <-l.reqs:
+			if !ok {
+				return
+			}
+			batch := []appendReq{req}
+			// Group commit: everything already queued joins this batch.
+		drain:
+			for len(batch) < 4096 {
+				select {
+				case more, ok := <-l.reqs:
+					if !ok {
+						break drain
+					}
+					batch = append(batch, more)
+				default:
+					break drain
+				}
+			}
+			l.commitBatch(batch)
+		case <-tick:
+			if l.dirty {
+				_ = l.fsync()
+			}
+		}
+	}
+}
+
+// commitBatch writes every queued frame in one write call, rotates and
+// fsyncs per policy, and fans the outcome back to the waiters.
+func (l *Log) commitBatch(batch []appendReq) {
+	var buf []byte
+	records := 0
+	forceSync := false
+	for _, req := range batch {
+		if req.payload == nil {
+			forceSync = true
+			continue
+		}
+		var fh [frameHdr]byte
+		binary.LittleEndian.PutUint32(fh[:], uint32(len(req.payload)))
+		binary.LittleEndian.PutUint32(fh[4:], crc32.Checksum(req.payload, castagnoli))
+		buf = append(buf, fh[:]...)
+		buf = append(buf, req.payload...)
+		records++
+	}
+	err := l.writeAndSync(buf, records, forceSync)
+	if err == nil && records > 0 {
+		l.nextIdx += uint64(records)
+		l.appended.Store(l.nextIdx)
+		l.st.records.Add(uint64(records))
+		l.st.bytes.Add(uint64(len(buf)))
+		l.st.batches.Add(1)
+	}
+	for _, req := range batch {
+		req.done <- err
+	}
+}
+
+func (l *Log) writeAndSync(buf []byte, records int, forceSync bool) error {
+	if records > 0 && l.activeLen >= l.opt.SegmentBytes {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	if records > 0 {
+		if _, err := l.active.Write(buf); err != nil {
+			return fmt.Errorf("wal: append: %w", err)
+		}
+		l.activeLen += int64(len(buf))
+		l.dirty = true
+	}
+	switch {
+	case forceSync, l.opt.Sync == SyncAlways:
+		if l.dirty {
+			return l.fsync()
+		}
+	case l.opt.Sync == SyncInterval:
+		if l.dirty && time.Since(l.lastSync) >= l.opt.SyncEvery {
+			return l.fsync()
+		}
+	}
+	return nil
+}
+
+// fsync syncs the active segment and observes the latency.
+func (l *Log) fsync() error {
+	began := time.Now()
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.st.fsyncs.Add(1)
+	l.st.fsyncLatency.Observe(time.Since(began))
+	l.dirty = false
+	l.lastSync = time.Now()
+	return nil
+}
+
+// rotate closes the active segment (fsynced, so a closed segment is always
+// durable) and starts the next one.
+func (l *Log) rotate() error {
+	if l.dirty {
+		if err := l.fsync(); err != nil {
+			return err
+		}
+	}
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: close segment: %w", err)
+	}
+	l.segMu.Lock()
+	created := segCreation(l.segs[len(l.segs)-1].path) + 1
+	l.segMu.Unlock()
+	if err := l.createSegment(created, l.nextIdx); err != nil {
+		return err
+	}
+	l.st.rotations.Add(1)
+	return nil
+}
+
+// Compact removes closed segments whose every record index is below
+// `before` (typically the newest checkpoint's LogIndex): recovery never
+// needs them again. The active segment is never removed. It returns the
+// number of segments deleted.
+func (l *Log) Compact(before uint64) (int, error) {
+	l.segMu.Lock()
+	defer l.segMu.Unlock()
+	removed := 0
+	for len(l.segs) >= 2 && l.segs[1].first <= before {
+		if err := os.Remove(l.segs[0].path); err != nil {
+			return removed, fmt.Errorf("wal: compact: %w", err)
+		}
+		l.segs = l.segs[1:]
+		removed++
+	}
+	if removed > 0 {
+		l.st.compacted.Add(uint64(removed))
+		if err := syncDir(l.dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// Replay streams every decodable record with index >= from, in order, to
+// fn. Damaged regions are skipped and counted, not fatal; an fn error
+// aborts the replay and is returned. It reads the on-disk state and may be
+// called on a freshly opened log before ingestion starts (the recovery
+// path) or on a quiesced one.
+func (l *Log) Replay(from uint64, fn func(idx uint64, r mcs.Report) error) (replayed uint64, err error) {
+	l.segMu.Lock()
+	segs := append([]segInfo(nil), l.segs...)
+	l.segMu.Unlock()
+	end := l.AppendedIndex()
+	for i, seg := range segs {
+		// A segment is skippable when the next one starts at or below
+		// `from`; the final segment always gets scanned.
+		if i+1 < len(segs) && segs[i+1].first <= from {
+			continue
+		}
+		n, serr := l.replaySegment(seg, from, end, fn)
+		replayed += n
+		if serr != nil {
+			return replayed, serr
+		}
+	}
+	l.st.replayed.Add(replayed)
+	return replayed, nil
+}
+
+// replaySegment scans one segment, invoking fn for records in [from, end).
+func (l *Log) replaySegment(seg segInfo, from, end uint64, fn func(uint64, mcs.Report) error) (uint64, error) {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		// The file may have been compacted away between snapshot and open.
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("wal: replay open: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(int64(segHdrLen), io.SeekStart); err != nil {
+		return 0, fmt.Errorf("wal: replay seek: %w", err)
+	}
+	var replayed uint64
+	idx := seg.first
+	fh := make([]byte, frameHdr)
+	var payload []byte
+	for idx < end {
+		if _, err := io.ReadFull(f, fh); err != nil {
+			if errors.Is(err, io.EOF) {
+				return replayed, nil
+			}
+			l.skipDamaged(seg, idx, end)
+			return replayed, nil
+		}
+		plen := binary.LittleEndian.Uint32(fh)
+		want := binary.LittleEndian.Uint32(fh[4:])
+		if plen == 0 || plen > maxPayload {
+			l.skipDamaged(seg, idx, end)
+			return replayed, nil
+		}
+		if cap(payload) < int(plen) {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			l.skipDamaged(seg, idx, end)
+			return replayed, nil
+		}
+		if crc32.Checksum(payload, castagnoli) != want {
+			l.skipDamaged(seg, idx, end)
+			return replayed, nil
+		}
+		if idx >= from {
+			r, n, derr := mcs.DecodeBinary(payload)
+			if derr != nil || n != len(payload) {
+				// The frame survived its CRC but the payload does not parse:
+				// count it and keep walking frames.
+				l.st.replaySkips.Add(1)
+			} else if err := fn(idx, r); err != nil {
+				return replayed, err
+			} else {
+				replayed++
+			}
+		}
+		idx++
+	}
+	return replayed, nil
+}
+
+// skipDamaged accounts for the records lost in a segment's damaged
+// remainder: everything from idx to the next segment's first index (or the
+// committed end for the final segment).
+func (l *Log) skipDamaged(seg segInfo, idx, end uint64) {
+	l.st.corruptSegs.Add(1)
+	segEnd := end
+	l.segMu.Lock()
+	for i, s := range l.segs {
+		if s.path == seg.path && i+1 < len(l.segs) {
+			segEnd = l.segs[i+1].first
+			break
+		}
+	}
+	l.segMu.Unlock()
+	if segEnd > idx {
+		l.st.replaySkips.Add(segEnd - idx)
+	}
+}
+
+// syncDir fsyncs a directory so renames and removals inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,390 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"itscs/internal/mcs"
+)
+
+func testReport(p, slot int) mcs.Report {
+	return mcs.Report{
+		Fleet:       "cab",
+		Participant: p,
+		Slot:        slot,
+		X:           float64(100*p + slot),
+		Y:           -float64(slot),
+		VX:          0.5,
+		VY:          -0.25,
+	}
+}
+
+func openTestLog(t *testing.T, dir string, opt Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func collect(t *testing.T, l *Log, from uint64) []mcs.Report {
+	t.Helper()
+	var out []mcs.Report
+	if _, err := l.Replay(from, func(_ uint64, r mcs.Report) error {
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, DefaultOptions())
+	const n = 25
+	for i := 0; i < n; i++ {
+		if err := l.Append(testReport(i%5, i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if got := l.AppendedIndex(); got != n {
+		t.Fatalf("AppendedIndex = %d, want %d", got, n)
+	}
+	got := collect(t, l, 0)
+	if len(got) != n {
+		t.Fatalf("replayed %d records, want %d", len(got), n)
+	}
+	for i, r := range got {
+		if r != testReport(i%5, i) {
+			t.Fatalf("record %d = %+v, want %+v", i, r, testReport(i%5, i))
+		}
+	}
+	// Replay from an offset delivers only the tail.
+	if tail := collect(t, l, n-7); len(tail) != 7 {
+		t.Fatalf("tail replay = %d records, want 7", len(tail))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(testReport(0, 99)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close = %v, want ErrClosed", err)
+	}
+
+	// Reopen: the index and contents survive.
+	l2 := openTestLog(t, dir, DefaultOptions())
+	defer l2.Close()
+	if got := l2.AppendedIndex(); got != n {
+		t.Fatalf("reopened AppendedIndex = %d, want %d", got, n)
+	}
+	if got := collect(t, l2, 0); len(got) != n {
+		t.Fatalf("reopened replay = %d records, want %d", len(got), n)
+	}
+	if err := l2.Append(testReport(1, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.AppendedIndex(); got != n+1 {
+		t.Fatalf("post-reopen AppendedIndex = %d, want %d", got, n+1)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		t.Run(policy.String(), func(t *testing.T) {
+			opt := DefaultOptions()
+			opt.Sync = policy
+			opt.SyncEvery = 10 * time.Millisecond
+			l := openTestLog(t, t.TempDir(), opt)
+			for i := 0; i < 10; i++ {
+				if err := l.Append(testReport(0, i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			st := l.Stats()
+			if st.Records != 10 {
+				t.Errorf("records = %d, want 10", st.Records)
+			}
+			switch policy {
+			case SyncAlways:
+				if st.Fsyncs < 10 {
+					t.Errorf("always: fsyncs = %d, want >= 10", st.Fsyncs)
+				}
+			case SyncNever:
+				// Only the explicit Sync barrier (if anything was dirty).
+				if st.Fsyncs > 1 {
+					t.Errorf("never: fsyncs = %d, want <= 1", st.Fsyncs)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+	}{{"always", SyncAlways}, {"interval", SyncInterval}, {"never", SyncNever}} {
+		got, err := ParseSyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+func TestConcurrentAppendGroupCommit(t *testing.T) {
+	l := openTestLog(t, t.TempDir(), DefaultOptions())
+	defer l.Close()
+	const writers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := l.Append(testReport(w, i)); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Records != writers*per {
+		t.Fatalf("records = %d, want %d", st.Records, writers*per)
+	}
+	// Every record must replay intact; per-writer slot order is preserved
+	// because each writer's appends are sequential.
+	seen := make(map[int]int) // participant -> next expected slot
+	for _, r := range collect(t, l, 0) {
+		if r.Slot != seen[r.Participant] {
+			t.Fatalf("writer %d: slot %d out of order (want %d)", r.Participant, r.Slot, seen[r.Participant])
+		}
+		seen[r.Participant]++
+	}
+	if st.Batches == 0 || st.Batches > st.Records {
+		t.Errorf("batches = %d records = %d", st.Batches, st.Records)
+	}
+}
+
+func TestSegmentRotationAndCompaction(t *testing.T) {
+	opt := DefaultOptions()
+	opt.SegmentBytes = 256 // tiny: a few records per segment
+	dir := t.TempDir()
+	l := openTestLog(t, dir, opt)
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := l.Append(testReport(i%3, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("segments = %d, want several (rotation broken)", st.Segments)
+	}
+	if st.Rotations == 0 {
+		t.Error("no rotations counted")
+	}
+
+	// Compact everything behind record 50: early segments disappear, and
+	// replay from 50 still yields exactly the tail.
+	removed, err := l.Compact(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Error("compaction removed nothing")
+	}
+	tail := collect(t, l, 50)
+	if len(tail) != n-50 {
+		t.Fatalf("post-compaction tail = %d records, want %d", len(tail), n-50)
+	}
+	if tail[0] != testReport(50%3, 50) {
+		t.Fatalf("tail starts at %+v, want slot 50", tail[0])
+	}
+	// The active segment never goes away, even for an absurd horizon.
+	if _, err := l.Compact(1 << 60); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Segments < 1 {
+		t.Fatal("active segment compacted away")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen after compaction: indices still line up with the surviving
+	// segment headers.
+	l2 := openTestLog(t, dir, opt)
+	defer l2.Close()
+	if got := l2.AppendedIndex(); got != n {
+		t.Fatalf("AppendedIndex after compacted reopen = %d, want %d", got, n)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, DefaultOptions())
+	for i := 0; i < 10; i++ {
+		if err := l.Append(testReport(0, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	last := segs[len(segs)-1]
+	// Tear the tail: append half a frame, as a crash mid-write would.
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{42, 0, 0, 0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2 := openTestLog(t, dir, DefaultOptions())
+	defer l2.Close()
+	st := l2.Stats()
+	if st.TruncatedBytes != 6 {
+		t.Errorf("truncated bytes = %d, want 6", st.TruncatedBytes)
+	}
+	if got := l2.AppendedIndex(); got != 10 {
+		t.Fatalf("AppendedIndex = %d, want 10", got)
+	}
+	// The log keeps working where the tear was cut off.
+	if err := l2.Append(testReport(1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, l2, 0)
+	if len(got) != 11 || got[10] != testReport(1, 100) {
+		t.Fatalf("replay after tear = %d records (last %+v)", len(got), got[len(got)-1])
+	}
+}
+
+func TestCorruptInteriorSegmentSkippedAndCounted(t *testing.T) {
+	opt := DefaultOptions()
+	opt.SegmentBytes = 256
+	dir := t.TempDir()
+	l := openTestLog(t, dir, opt)
+	const n = 60
+	for i := 0; i < n; i++ {
+		if err := l.Append(testReport(0, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("need >= 3 segments, got %d", len(segs))
+	}
+	// Flip payload bytes in the middle of the second segment: its tail is
+	// damaged but the following segments must still replay.
+	victim := segs[1]
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := len(data) / 2
+	data[mid] ^= 0xFF
+	data[mid+1] ^= 0xFF
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openTestLog(t, dir, opt)
+	defer l2.Close()
+	if st := l2.Stats(); st.CorruptSegments == 0 {
+		t.Error("corrupt segment not counted at open")
+	}
+	got := collect(t, l2, 0)
+	if len(got) >= n || len(got) == 0 {
+		t.Fatalf("replay after interior corruption = %d records, want (0,%d)", len(got), n)
+	}
+	// Slots must stay strictly increasing across the damage gap: the next
+	// segment's header re-anchors the sequence, no record is duplicated.
+	for i := 1; i < len(got); i++ {
+		if got[i].Slot <= got[i-1].Slot {
+			t.Fatalf("slot order broken across gap: %d then %d", got[i-1].Slot, got[i].Slot)
+		}
+	}
+	if st := l2.Stats(); st.ReplaySkipped == 0 {
+		t.Error("damaged records not counted as skipped")
+	}
+	// The tail after the corrupt segment still appends and replays.
+	if err := l2.Append(testReport(9, 999)); err != nil {
+		t.Fatal(err)
+	}
+	after := collect(t, l2, l2.AppendedIndex()-1)
+	if len(after) != 1 || after[0] != testReport(9, 999) {
+		t.Fatalf("tail after corruption = %+v", after)
+	}
+}
+
+func TestUnreadableHeaderSegmentQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, DefaultOptions())
+	for i := 0; i < 5; i++ {
+		if err := l.Append(testReport(0, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	if err := os.WriteFile(segs[0], []byte("not a wal segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openTestLog(t, dir, DefaultOptions())
+	defer l2.Close()
+	if st := l2.Stats(); st.CorruptSegments == 0 {
+		t.Error("quarantined segment not counted")
+	}
+	// The log starts over (nothing recoverable) but keeps the damaged file
+	// aside for forensics.
+	if err := l2.Append(testReport(3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	quarantined, err := filepath.Glob(filepath.Join(dir, "*.corrupt"))
+	if err != nil || len(quarantined) != 1 {
+		t.Errorf("quarantined files = %v (err %v)", quarantined, err)
+	}
+}
+
+func TestSegmentNaming(t *testing.T) {
+	l := &Log{dir: "/tmp/x"}
+	p := l.segPath(7)
+	if got := segCreation(p); got != 7 {
+		t.Errorf("segCreation(%q) = %d, want 7", p, got)
+	}
+	if base := filepath.Base(p); base != fmt.Sprintf("wal-%016x.seg", 7) {
+		t.Errorf("segment name = %q", base)
+	}
+}
