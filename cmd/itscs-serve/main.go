@@ -2,7 +2,8 @@
 // streaming service: participants upload location reports over the mcs TCP
 // transport, the pipeline engine slices each fleet's stream into sliding
 // windows and runs DETECT→CORRECT→CHECK on every window as it closes, and
-// an HTTP sidecar exposes health, metrics, and the newest per-fleet result.
+// an HTTP sidecar exposes health, metrics, traces, and the newest
+// per-fleet result.
 //
 // With -data-dir set the daemon is durable: every accepted report is
 // framed into a write-ahead log before it is acknowledged (fsync policy
@@ -10,6 +11,13 @@
 // -checkpoint-every closed windows, and on startup the newest checkpoint
 // is restored and the log tail replayed, so a crash loses at most what the
 // fsync policy permits.
+//
+// All diagnostics are structured logs (log/slog) on stdout; -log-format
+// selects text or json and -log-level the floor. Slow windows, dropped
+// windows, failed windows, WAL recovery damage and checkpoint failures all
+// surface there — none of them is silent. With -debug-addr set a second
+// listener serves net/http/pprof and build info, kept off the public
+// sidecar so profiling is never exposed by accident.
 //
 // Usage:
 //
@@ -19,13 +27,24 @@
 //	            [-idle-timeout 2m] [-cold-start]
 //	            [-data-dir /var/lib/itscs] [-fsync always|interval|never]
 //	            [-fsync-interval 100ms] [-checkpoint-every 4]
+//	            [-log-format text|json] [-log-level info]
+//	            [-slow-window 30s] [-trace-depth 64]
+//	            [-debug-addr 127.0.0.1:6060]
 //
 // HTTP endpoints:
 //
-//	GET /healthz         liveness probe
-//	GET /metrics         engine + durability counters and histograms (JSON)
+//	GET /healthz         liveness probe (JSON)
+//	GET /metrics         Prometheus text exposition; JSON with
+//	                     Accept: application/json or ?format=json
 //	GET /results         fleets with at least one report, sorted
 //	GET /results/{fleet} newest completed window result for the fleet
+//	                     (204 when the fleet exists but no window closed)
+//	GET /trace/{fleet}   recent per-window trace spans, newest first
+//
+// Debug endpoints (only with -debug-addr):
+//
+//	GET /debug/pprof/...  CPU, heap, goroutine, block, mutex profiles
+//	GET /debug/buildinfo  module, VCS revision, Go version, uptime
 package main
 
 import (
@@ -34,15 +53,21 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	rdebug "runtime/debug"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"itscs/internal/mcs"
+	"itscs/internal/obs"
 	"itscs/internal/pipeline"
 	"itscs/internal/wal"
 )
@@ -60,6 +85,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("itscs-serve", flag.ContinueOnError)
 	ingestAddr := fs.String("ingest", "127.0.0.1:7070", "TCP address for participant report ingest")
 	httpAddr := fs.String("http", "127.0.0.1:8080", "HTTP address for health, metrics and results")
+	debugAddr := fs.String("debug-addr", "", "HTTP address for pprof and build info (empty = disabled)")
 	participants := fs.Int("participants", 158, "participants per fleet (matrix rows)")
 	window := fs.Int("window", 240, "detection window width in slots")
 	hop := fs.Int("hop", 60, "window stride in slots")
@@ -73,6 +99,10 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	fsyncPolicy := fs.String("fsync", "always", "WAL fsync policy: always, interval or never")
 	fsyncInterval := fs.Duration("fsync-interval", 100*time.Millisecond, "flush cadence under -fsync interval")
 	checkpointEvery := fs.Int("checkpoint-every", 4, "checkpoint shard state every N closed windows")
+	logFormat := fs.String("log-format", obs.LogText, "log output format: text or json")
+	logLevel := fs.String("log-level", "info", "log level floor: debug, info, warn or error")
+	slowWindow := fs.Duration("slow-window", 30*time.Second, "window wall-clock above which processing logs at warn")
+	traceDepth := fs.Int("trace-depth", 64, "per-fleet trace spans retained for /trace (0 = default, negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,6 +111,10 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	}
 	if *checkpointEvery < 1 {
 		return fmt.Errorf("checkpoint cadence must be >= 1 window, got %d", *checkpointEvery)
+	}
+	logger, err := obs.NewLogger(out, *logFormat, *logLevel)
+	if err != nil {
+		return err
 	}
 
 	cfg := pipeline.DefaultConfig()
@@ -91,6 +125,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	cfg.QueueDepth = *queue
 	cfg.MaxFleets = *maxFleets
 	cfg.DisableWarmStart = *coldStart
+	cfg.TraceDepth = *traceDepth
 	cfg.Core.Detect.Tau = *tau
 	cfg.Core.Reconstruct.Tau = *tau
 
@@ -106,17 +141,35 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		dur = &durability{dir: *dataDir, opt: opt, every: uint64(*checkpointEvery)}
 	}
 
-	d, err := newDaemon(cfg, *ingestAddr, *httpAddr, *idle, dur)
+	d, err := newDaemon(cfg, daemonOptions{
+		ingestAddr: *ingestAddr,
+		httpAddr:   *httpAddr,
+		debugAddr:  *debugAddr,
+		idle:       *idle,
+		dur:        dur,
+		log:        logger,
+		slowWindow: *slowWindow,
+	})
 	if err != nil {
 		return err
 	}
 	if d.recovery != nil {
-		fmt.Fprintf(out, "itscs-serve: recovered %d fleet(s) from %s: replayed %d of %d logged records in %.3fs (checkpoint at index %d%s)\n",
-			d.recovery.Fleets, *dataDir, d.recovery.ReplayedRecords, d.recovery.LogRecords,
-			d.recovery.DurationS, d.recovery.CheckpointIndex, d.recovery.note())
+		logger.Info("recovered durable state",
+			"dir", *dataDir,
+			"fleets", d.recovery.Fleets,
+			"replayed_records", d.recovery.ReplayedRecords,
+			"log_records", d.recovery.LogRecords,
+			"replay_rejected", d.recovery.ReplayRejected,
+			"checkpoint_index", d.recovery.CheckpointIndex,
+			"checkpoints_skipped_corrupt", d.recovery.CheckpointsSkipped,
+			"duration_s", d.recovery.DurationS)
 	}
 	d.serve()
-	fmt.Fprintf(out, "itscs-serve: ingesting on %s, serving HTTP on %s\n", d.ingestAddr, d.httpBound)
+	attrs := []any{"ingest", d.ingestAddr.String(), "http", d.httpBound.String()}
+	if d.debugBound != nil {
+		attrs = append(attrs, "debug", d.debugBound.String())
+	}
+	logger.Info("serving", attrs...)
 
 	if stop == nil {
 		sig := make(chan os.Signal, 1)
@@ -124,7 +177,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		defer signal.Stop(sig)
 		select {
 		case s := <-sig:
-			fmt.Fprintf(out, "itscs-serve: received %v, draining\n", s)
+			logger.Info("draining", "signal", s.String())
 		case err := <-d.fatal:
 			_ = d.close()
 			return err
@@ -148,6 +201,7 @@ type durability struct {
 	every uint64 // checkpoint every N closed windows
 
 	log *wal.Log
+	slg *slog.Logger
 
 	// kick is signaled by the engine's OnWindowClose hook; the checkpointer
 	// goroutine owns everything below.
@@ -162,8 +216,15 @@ type durability struct {
 	lastErr     string
 }
 
-// recoveryInfo summarizes what startup restored; it is reported once on
-// stdout and permanently under /metrics.
+func (dur *durability) logger() *slog.Logger {
+	if dur.slg != nil {
+		return dur.slg
+	}
+	return obs.Discard()
+}
+
+// recoveryInfo summarizes what startup restored; it is reported once in
+// the log and permanently under /metrics.
 type recoveryInfo struct {
 	CheckpointIndex    uint64  `json:"checkpoint_index"`
 	CheckpointsSkipped int     `json:"checkpoints_skipped_corrupt"`
@@ -174,13 +235,6 @@ type recoveryInfo struct {
 	DurationS          float64 `json:"duration_s"`
 }
 
-func (r *recoveryInfo) note() string {
-	if r.CheckpointsSkipped > 0 {
-		return fmt.Sprintf(", %d corrupt checkpoint(s) skipped", r.CheckpointsSkipped)
-	}
-	return ""
-}
-
 // checkpointStats snapshots the checkpointer's counters for /metrics.
 type checkpointStats struct {
 	Written   uint64 `json:"written"`
@@ -188,24 +242,50 @@ type checkpointStats struct {
 	LastError string `json:"last_error,omitempty"`
 }
 
-// daemon wires the engine to its two listeners and, when durable, to the
-// WAL and checkpointer.
+// daemonOptions collects the wiring newDaemon needs beyond the engine
+// config: addresses, timeouts, durability, and observability.
+type daemonOptions struct {
+	ingestAddr string
+	httpAddr   string
+	debugAddr  string // empty disables the pprof/buildinfo listener
+	idle       time.Duration
+	dur        *durability
+	log        *slog.Logger  // nil silences the daemon
+	slowWindow time.Duration // 0 means never escalate to warn
+}
+
+// daemon wires the engine to its listeners and, when durable, to the WAL
+// and checkpointer.
 type daemon struct {
 	engine     *pipeline.Engine
+	log        *slog.Logger
 	ingest     *mcs.Server
 	ingestAddr net.Addr
 	http       *http.Server
 	httpLn     net.Listener
 	httpBound  net.Addr
+	debug      *http.Server
+	debugLn    net.Listener
+	debugBound net.Addr
 	started    time.Time
 	fatal      chan error
 	dur        *durability
 	recovery   *recoveryInfo
 }
 
-func newDaemon(cfg pipeline.Config, ingestAddr, httpAddr string, idle time.Duration, dur *durability) (*daemon, error) {
+func newDaemon(cfg pipeline.Config, opt daemonOptions) (*daemon, error) {
+	logger := opt.log
+	if logger == nil {
+		logger = obs.Discard()
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = &obs.LogObserver{Log: logger, SlowWindow: opt.slowWindow}
+	}
+	dur := opt.dur
 	var recovery *recoveryInfo
 	if dur != nil {
+		dur.slg = logger
+		dur.opt.Logger = logger
 		log, err := wal.Open(dur.dir, dur.opt)
 		if err != nil {
 			return nil, err
@@ -238,35 +318,74 @@ func newDaemon(cfg pipeline.Config, ingestAddr, httpAddr string, idle time.Durat
 	}
 	d := &daemon{
 		engine:   engine,
+		log:      logger,
 		ingest:   mcs.NewServer(engine),
 		started:  time.Now(),
-		fatal:    make(chan error, 2),
+		fatal:    make(chan error, 3),
 		dur:      dur,
 		recovery: recovery,
 	}
-	d.ingest.IdleTimeout = idle
-	if d.ingestAddr, err = d.ingest.Listen(ingestAddr); err != nil {
-		engine.Close()
-		if dur != nil {
-			_ = dur.log.Close()
-		}
+	d.ingest.IdleTimeout = opt.idle
+	if d.ingestAddr, err = d.ingest.Listen(opt.ingestAddr); err != nil {
+		d.teardown()
 		return nil, err
 	}
-	if d.httpLn, err = net.Listen("tcp", httpAddr); err != nil {
-		_ = d.ingest.Close()
-		engine.Close()
-		if dur != nil {
-			_ = dur.log.Close()
-		}
+	if d.httpLn, err = net.Listen("tcp", opt.httpAddr); err != nil {
+		d.teardown()
 		return nil, fmt.Errorf("http listen: %w", err)
 	}
 	d.httpBound = d.httpLn.Addr()
-	d.http = &http.Server{Handler: d.mux(), ReadHeaderTimeout: 10 * time.Second}
+	d.http = newHTTPServer(d.mux(), defaultReadHeaderTimeout, defaultIdleTimeout)
+	if opt.debugAddr != "" {
+		if d.debugLn, err = net.Listen("tcp", opt.debugAddr); err != nil {
+			d.teardown()
+			return nil, fmt.Errorf("debug listen: %w", err)
+		}
+		d.debugBound = d.debugLn.Addr()
+		// pprof's CPU profile and trace handlers stream for their whole
+		// -seconds argument, so the debug server gets the header timeout
+		// but no idle cap beyond the generous default.
+		d.debug = newHTTPServer(d.debugMux(), defaultReadHeaderTimeout, defaultIdleTimeout)
+	}
 	if dur != nil {
 		dur.wg.Add(1)
 		go dur.checkpointer(d.engine)
 	}
 	return d, nil
+}
+
+// teardown releases everything newDaemon acquired before a later step
+// failed, in reverse order of acquisition.
+func (d *daemon) teardown() {
+	if d.httpLn != nil {
+		_ = d.httpLn.Close()
+	}
+	if d.ingestAddr != nil {
+		_ = d.ingest.Close()
+	}
+	d.engine.Close()
+	if d.dur != nil {
+		_ = d.dur.log.Close()
+	}
+}
+
+// Default HTTP server timeouts. ReadHeaderTimeout bounds how long a
+// connection may dribble its request header; IdleTimeout reclaims
+// keep-alive connections that send nothing. Together they stop a
+// slowloris-style client from pinning sockets open indefinitely.
+const (
+	defaultReadHeaderTimeout = 10 * time.Second
+	defaultIdleTimeout       = 2 * time.Minute
+)
+
+// newHTTPServer builds an http.Server with the anti-slowloris timeouts
+// applied; tests pass short values to observe the disconnect.
+func newHTTPServer(h http.Handler, readHeader, idle time.Duration) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: readHeader,
+		IdleTimeout:       idle,
+	}
 }
 
 // recover_ restores the newest checkpoint into the engine and replays the
@@ -276,6 +395,10 @@ func recover_(engine *pipeline.Engine, dur *durability) (*recoveryInfo, error) {
 	info := &recoveryInfo{LogRecords: dur.log.AppendedIndex()}
 	ck, skipped, err := wal.LatestCheckpoint(dur.dir)
 	info.CheckpointsSkipped = skipped
+	if skipped > 0 {
+		dur.logger().Warn("skipped corrupt checkpoint(s) during recovery",
+			"dir", dur.dir, "skipped", skipped)
+	}
 	switch {
 	case err == nil:
 		if rerr := engine.Restore(ck); rerr != nil {
@@ -326,7 +449,10 @@ func (dur *durability) checkpointer(engine *pipeline.Engine) {
 			dur.mu.Lock()
 			dur.ckptErrs++
 			dur.lastErr = err.Error()
+			errs := dur.ckptErrs
 			dur.mu.Unlock()
+			dur.logger().Error("checkpoint failed",
+				"err", err, "windows_closed", closed, "consecutive_errors", errs)
 		}
 	}
 }
@@ -349,6 +475,7 @@ func (dur *durability) checkpointOnce(engine *pipeline.Engine, closed uint64) er
 	dur.mu.Lock()
 	dur.lastCkpt = closed
 	dur.ckpts++
+	dur.lastErr = ""
 	dur.mu.Unlock()
 	return nil
 }
@@ -360,7 +487,7 @@ func (dur *durability) stats() checkpointStats {
 	return checkpointStats{Written: dur.ckpts, Errors: dur.ckptErrs, LastError: dur.lastErr}
 }
 
-// serve starts both listeners; failures surface on d.fatal.
+// serve starts the listeners; failures surface on d.fatal.
 func (d *daemon) serve() {
 	go func() {
 		if err := d.ingest.Serve(); err != nil {
@@ -372,6 +499,13 @@ func (d *daemon) serve() {
 			d.fatal <- fmt.Errorf("http: %w", err)
 		}
 	}()
+	if d.debug != nil {
+		go func() {
+			if err := d.debug.Serve(d.debugLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				d.fatal <- fmt.Errorf("debug http: %w", err)
+			}
+		}()
+	}
 }
 
 // close shuts the transport down first so no report arrives after the
@@ -382,6 +516,11 @@ func (d *daemon) close() error {
 	if herr := d.http.Close(); err == nil {
 		err = herr
 	}
+	if d.debug != nil {
+		if derr := d.debug.Close(); err == nil {
+			err = derr
+		}
+	}
 	if d.dur != nil {
 		close(d.dur.stop)
 		d.dur.wg.Wait()
@@ -391,8 +530,11 @@ func (d *daemon) close() error {
 		// Final checkpoint after the drain: every logged record has been
 		// applied and every open window flushed, so a clean restart
 		// restores this snapshot and replays nothing.
-		if ckErr := d.dur.checkpointOnce(d.engine, d.engine.Stats().WindowsClosed); ckErr != nil && err == nil {
-			err = ckErr
+		if ckErr := d.dur.checkpointOnce(d.engine, d.engine.Stats().WindowsClosed); ckErr != nil {
+			d.log.Error("final checkpoint failed", "err", ckErr)
+			if err == nil {
+				err = ckErr
+			}
 		}
 		if lerr := d.dur.log.Close(); err == nil {
 			err = lerr
@@ -418,7 +560,13 @@ func (d *daemon) mux() *http.ServeMux {
 			payload.Checkpoints = &cs
 		}
 		payload.Recovery = d.recovery
-		writeJSON(w, http.StatusOK, payload)
+		if wantsJSON(r) {
+			writeJSON(w, http.StatusOK, payload)
+			return
+		}
+		w.Header().Set("Content-Type", obs.PromContentType)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(renderProm(payload, time.Since(d.started)))
 	})
 	mux.HandleFunc("GET /results", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"fleets": d.engine.Fleets()})
@@ -426,19 +574,79 @@ func (d *daemon) mux() *http.ServeMux {
 	mux.HandleFunc("GET /results/{fleet}", func(w http.ResponseWriter, r *http.Request) {
 		fleet := r.PathValue("fleet")
 		res, err := d.engine.Latest(fleet)
+		switch {
+		case errors.Is(err, pipeline.ErrNoResult):
+			// The fleet exists but no window has completed: not an error,
+			// just nothing yet. 204 keeps "200 means a result" true.
+			w.WriteHeader(http.StatusNoContent)
+		case err != nil:
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+		default:
+			writeJSON(w, http.StatusOK, res)
+		}
+	})
+	mux.HandleFunc("GET /trace/{fleet}", func(w http.ResponseWriter, r *http.Request) {
+		fleet := r.PathValue("fleet")
+		spans, err := d.engine.Trace(fleet)
 		if err != nil {
 			writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
 			return
 		}
-		if res == nil {
-			writeJSON(w, http.StatusNotFound, map[string]any{
-				"error": fmt.Sprintf("fleet %q has no completed window yet", fleet),
-			})
-			return
-		}
-		writeJSON(w, http.StatusOK, res)
+		writeJSON(w, http.StatusOK, map[string]any{"fleet": fleet, "spans": spans})
 	})
 	return mux
+}
+
+// wantsJSON reports whether the client asked for the JSON form of a
+// dual-format endpoint, via ?format=json or an Accept header. The default
+// is Prometheus text so a stock scrape config works unconfigured.
+func wantsJSON(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "json" {
+		return true
+	}
+	for _, accept := range r.Header.Values("Accept") {
+		if strings.Contains(accept, "application/json") {
+			return true
+		}
+	}
+	return false
+}
+
+// debugMux serves pprof and build info on the -debug-addr listener only,
+// never on the public sidecar.
+func (d *daemon) debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/buildinfo", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, buildInfo(time.Since(d.started)))
+	})
+	return mux
+}
+
+// buildInfo assembles the /debug/buildinfo payload: module identity, VCS
+// state when the binary was built from a checkout, toolchain, and uptime.
+func buildInfo(uptime time.Duration) map[string]any {
+	info := map[string]any{
+		"go_version": runtime.Version(),
+		"uptime_s":   uptime.Seconds(),
+	}
+	if bi, ok := rdebug.ReadBuildInfo(); ok {
+		info["module"] = bi.Main.Path
+		if bi.Main.Version != "" {
+			info["version"] = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision", "vcs.time", "vcs.modified":
+				info[s.Key] = s.Value
+			}
+		}
+	}
+	return info
 }
 
 // metricsPayload embeds the engine stats (flat, as before durability) and

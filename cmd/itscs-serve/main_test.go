@@ -10,6 +10,7 @@ import (
 
 	"itscs/internal/corrupt"
 	"itscs/internal/mcs"
+	"itscs/internal/obs"
 	"itscs/internal/pipeline"
 	"itscs/internal/trace"
 	"itscs/internal/wal"
@@ -43,7 +44,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 	cfg.WindowSlots = w
 	cfg.HopSlots = h
 	cfg.Workers = 1
-	d, err := newDaemon(cfg, "127.0.0.1:0", "127.0.0.1:0", time.Minute, nil)
+	d, err := newDaemon(cfg, daemonOptions{ingestAddr: "127.0.0.1:0", httpAddr: "127.0.0.1:0", idle: time.Minute})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 
 	var stats pipeline.Stats
-	if status, err := getJSON(base+"/metrics", &stats); err != nil || status != http.StatusOK {
+	if status, err := getJSON(base+"/metrics?format=json", &stats); err != nil || status != http.StatusOK {
 		t.Fatalf("metrics: status %d err %v", status, err)
 	}
 	if stats.Ingested != uint64(len(reports)) {
@@ -145,6 +146,41 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 	if status, err := getJSON(base+"/results/none", &errBody); err != nil || status != http.StatusNotFound {
 		t.Errorf("unknown fleet: status %d err %v", status, err)
+	}
+
+	// The processed windows must have left trace spans with real timings.
+	var tr struct {
+		Spans []obs.Span `json:"spans"`
+	}
+	if status, err := getJSON(base+"/trace/cab", &tr); err != nil || status != http.StatusOK {
+		t.Fatalf("trace: status %d err %v", status, err)
+	}
+	if len(tr.Spans) == 0 {
+		t.Fatal("no trace spans after a processed window")
+	}
+	sp := tr.Spans[0]
+	if sp.Fleet != "cab" || sp.RunMS <= 0 || sp.DetectMS <= 0 || sp.CorrectMS <= 0 || sp.QueueWaitMS < 0 {
+		t.Errorf("span = %+v", sp)
+	}
+	if sp.Sweeps <= 0 || sp.Observed == 0 {
+		t.Errorf("span missing sweep/observation counts: %+v", sp)
+	}
+
+	// The default /metrics form is Prometheus text and must lint.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("Content-Type"); got != obs.PromContentType {
+		t.Errorf("prom content type = %q", got)
+	}
+	if err := obs.LintExposition(prom); err != nil {
+		t.Errorf("exposition failed lint: %v", err)
 	}
 }
 
@@ -202,7 +238,7 @@ func TestDaemonDurableRestart(t *testing.T) {
 	}
 
 	// First life: stream the first 50 slots, then shut down gracefully.
-	d1, err := newDaemon(cfg, "127.0.0.1:0", "127.0.0.1:0", time.Minute, newDur())
+	d1, err := newDaemon(cfg, daemonOptions{ingestAddr: "127.0.0.1:0", httpAddr: "127.0.0.1:0", idle: time.Minute, dur: newDur()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +253,7 @@ func TestDaemonDurableRestart(t *testing.T) {
 
 	// Second life: the shutdown checkpoint covers every logged record, so a
 	// clean restart restores the fleet and replays nothing.
-	d2, err := newDaemon(cfg, "127.0.0.1:0", "127.0.0.1:0", time.Minute, newDur())
+	d2, err := newDaemon(cfg, daemonOptions{ingestAddr: "127.0.0.1:0", httpAddr: "127.0.0.1:0", idle: time.Minute, dur: newDur()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +299,7 @@ func TestDaemonDurableRestart(t *testing.T) {
 		WAL      *wal.Stats    `json:"wal"`
 		Recovery *recoveryInfo `json:"recovery"`
 	}
-	if status, err := getJSON(base+"/metrics", &m); err != nil || status != http.StatusOK {
+	if status, err := getJSON(base+"/metrics?format=json", &m); err != nil || status != http.StatusOK {
 		t.Fatalf("metrics: status %d err %v", status, err)
 	}
 	if m.WAL == nil || m.WAL.Records != uint64(len(rest)) {

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"runtime"
+	rdebug "runtime/debug"
+	"sort"
+	"time"
+
+	"itscs/internal/obs"
+)
+
+// renderProm flattens the daemon's whole metrics payload into Prometheus
+// text exposition format 0.0.4. Every counter in pipeline.Stats, the WAL
+// and checkpointer state, the recovery summary, and the per-phase latency
+// histograms appear; maps are emitted in sorted key order so consecutive
+// scrapes are byte-stable for identical state.
+func renderProm(p metricsPayload, uptime time.Duration) []byte {
+	b := obs.NewProm()
+
+	b.Gauge("itscs_build_info",
+		"Build identity of the running binary; the value is always 1.",
+		1, buildInfoLabels()...)
+	b.Gauge("itscs_uptime_seconds", "Seconds since the daemon started.", uptime.Seconds())
+
+	// Ingest counters.
+	b.Counter("itscs_reports_ingested_total", "Reports accepted into the engine.", float64(p.Ingested))
+	b.Counter("itscs_reports_replayed_total", "Accepted reports that arrived via WAL recovery, not the live transport.", float64(p.Replayed))
+	b.Counter("itscs_reports_rejected_total", "Reports refused at ingest.", float64(p.Rejected))
+	b.Counter("itscs_reports_late_total", "Rejected reports below their fleet's retention horizon.", float64(p.Late))
+	b.Counter("itscs_reports_duplicate_total", "Rejected reports targeting an already-filled cell.", float64(p.Duplicates))
+	b.Counter("itscs_reports_non_finite_total", "Rejected reports carrying NaN or infinite values.", float64(p.NonFinite))
+
+	// Window lifecycle counters.
+	b.Counter("itscs_windows_closed_total", "Windows cut from the streams.", float64(p.WindowsClosed))
+	b.Counter("itscs_windows_empty_total", "Closed windows discarded for holding no observations.", float64(p.WindowsEmpty))
+	b.Counter("itscs_windows_skipped_total", "Windows jumped over to catch up after a slot gap.", float64(p.WindowsSkipped))
+	b.Counter("itscs_windows_dropped_total", "Windows evicted from the full dispatch queue (drop-oldest).", float64(p.WindowsDropped))
+	b.Counter("itscs_windows_processed_total", "Windows that ran the detection loop to completion.", float64(p.WindowsProcessed))
+	b.Counter("itscs_windows_failed_total", "Windows whose detection loop returned an error.", float64(p.WindowsFailed))
+	for _, fleet := range sortedKeys(p.WindowsDroppedByFleet) {
+		b.Counter("itscs_fleet_windows_dropped_total",
+			"Windows dropped under backpressure, by fleet.",
+			float64(p.WindowsDroppedByFleet[fleet]), obs.Label{Name: "fleet", Value: fleet})
+	}
+	b.Counter("itscs_warm_starts_total", "Processed windows that reused the previous window's factorization.", float64(p.WarmStarts))
+	b.Counter("itscs_cold_starts_total", "Processed windows that started CORRECT from scratch.", float64(p.ColdStarts))
+	b.Counter("itscs_subscriber_drops_total", "Results a slow subscriber failed to receive.", float64(p.SubscriberDrops))
+
+	// Instantaneous engine state.
+	b.Gauge("itscs_queue_depth", "Windows waiting in the dispatch queue right now.", float64(p.QueueDepth))
+	b.Gauge("itscs_queue_capacity", "Dispatch queue capacity.", float64(p.QueueCapacity))
+	b.Gauge("itscs_fleets", "Fleet shards currently materialized.", float64(p.Fleets))
+
+	// Per-phase latency histograms share one metric name with a phase label.
+	for _, phase := range sortedKeys(p.PhaseLatency) {
+		b.Histogram("itscs_phase_latency_seconds",
+			"Wall-clock latency by pipeline phase: detect, correct, check, run (whole loop), wait (queue residence).",
+			p.PhaseLatency[phase], obs.Label{Name: "phase", Value: phase})
+	}
+
+	if p.WAL != nil {
+		w := p.WAL
+		b.Counter("itscs_wal_records_total", "Records appended to the write-ahead log.", float64(w.Records))
+		b.Counter("itscs_wal_bytes_appended_total", "Frame bytes appended to the write-ahead log.", float64(w.Bytes))
+		b.Counter("itscs_wal_batches_total", "Group commits to the write-ahead log.", float64(w.Batches))
+		b.Counter("itscs_wal_fsyncs_total", "File syncs issued by the write-ahead log.", float64(w.Fsyncs))
+		b.Histogram("itscs_wal_fsync_latency_seconds", "Write-ahead log fsync latency.", w.FsyncLatency)
+		b.Gauge("itscs_wal_segments", "Live write-ahead log segments.", float64(w.Segments))
+		b.Counter("itscs_wal_rotations_total", "Log segments opened after the first.", float64(w.Rotations))
+		b.Counter("itscs_wal_compacted_segments_total", "Log segments removed by compaction.", float64(w.Compacted))
+		b.Counter("itscs_wal_corrupt_segments_total", "Segments whose damaged remainder recovery or replay skipped.", float64(w.CorruptSegments))
+		b.Counter("itscs_wal_truncated_bytes_total", "Torn-tail bytes cut off the final segment at open.", float64(w.TruncatedBytes))
+		b.Counter("itscs_wal_replayed_records_total", "Records replayed from the log at startup.", float64(w.Replayed))
+		b.Counter("itscs_wal_replay_skipped_records_total", "Records lost inside damaged regions during replay.", float64(w.ReplaySkipped))
+	}
+	if p.Checkpoints != nil {
+		b.Counter("itscs_checkpoints_written_total", "Shard checkpoints persisted.", float64(p.Checkpoints.Written))
+		b.Counter("itscs_checkpoint_errors_total", "Checkpoint attempts that failed.", float64(p.Checkpoints.Errors))
+	}
+	if p.Recovery != nil {
+		r := p.Recovery
+		b.Gauge("itscs_recovery_checkpoint_index", "Log index of the checkpoint restored at startup.", float64(r.CheckpointIndex))
+		b.Gauge("itscs_recovery_checkpoints_skipped", "Corrupt checkpoints skipped while picking one to restore.", float64(r.CheckpointsSkipped))
+		b.Gauge("itscs_recovery_fleets", "Fleet shards restored from the checkpoint.", float64(r.Fleets))
+		b.Gauge("itscs_recovery_log_records", "Records the log held when recovery began.", float64(r.LogRecords))
+		b.Gauge("itscs_recovery_replayed_records", "Records replayed through the engine at startup.", float64(r.ReplayedRecords))
+		b.Gauge("itscs_recovery_replay_rejected", "Replayed records the engine refused.", float64(r.ReplayRejected))
+		b.Gauge("itscs_recovery_duration_seconds", "Wall-clock time recovery took.", r.DurationS)
+	}
+	return b.Bytes()
+}
+
+// buildInfoLabels extracts the identity labels for itscs_build_info.
+func buildInfoLabels() []obs.Label {
+	labels := []obs.Label{{Name: "go_version", Value: runtime.Version()}}
+	if bi, ok := rdebug.ReadBuildInfo(); ok {
+		labels = append(labels, obs.Label{Name: "module", Value: bi.Main.Path})
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				labels = append(labels, obs.Label{Name: "revision", Value: s.Value})
+			}
+		}
+	}
+	return labels
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -22,6 +22,7 @@ import (
 	"itscs/internal/corrupt"
 	"itscs/internal/mcs"
 	"itscs/internal/metrics"
+	"itscs/internal/obs"
 	"itscs/internal/pipeline"
 	"itscs/internal/trace"
 )
@@ -75,6 +76,14 @@ func run(p params, out io.Writer) error {
 	cfg.WindowSlots = p.window
 	cfg.HopSlots = p.hop
 	cfg.Workers = 1
+	// Observability, as itscs-serve wires it: anything that goes wrong
+	// (dropped, failed, or slow windows) surfaces as a structured warning,
+	// and every processed window leaves a trace span, printed at the end.
+	logger, err := obs.NewLogger(out, obs.LogText, "warn")
+	if err != nil {
+		return err
+	}
+	cfg.Obs = &obs.LogObserver{Log: logger, SlowWindow: time.Minute}
 	engine, err := pipeline.New(cfg)
 	if err != nil {
 		return err
@@ -168,5 +177,18 @@ func run(p params, out io.Writer) error {
 	st := engine.Stats()
 	fmt.Fprintf(out, "processed %d windows (%d warm-started, %d dropped under backpressure)\n",
 		st.WindowsProcessed, st.WarmStarts, st.WindowsDropped)
+
+	// The trace ring keeps a per-phase breakdown of the recent windows —
+	// the same records itscs-serve exposes at GET /trace/{fleet}.
+	spans, err := engine.Trace("taxi")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "trace (newest first):")
+	for _, sp := range spans {
+		fmt.Fprintf(out,
+			"  window %d: wait %6.1f ms, detect %4.0f + correct %4.0f + check %4.0f ms, %d ASD sweeps\n",
+			sp.Seq, sp.QueueWaitMS, sp.DetectMS, sp.CorrectMS, sp.CheckMS, sp.Sweeps)
+	}
 	return nil
 }

@@ -27,6 +27,8 @@ func TestStreamingExampleSmoke(t *testing.T) {
 		"window 0 [   0,  60)",
 		"warm start",
 		"processed",
+		"trace (newest first):",
+		"ASD sweeps",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)

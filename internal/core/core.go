@@ -153,6 +153,10 @@ type Output struct {
 	DetectDuration  time.Duration
 	CorrectDuration time.Duration
 	CheckDuration   time.Duration
+	// Sweeps is the total number of ASD sweeps the CORRECT phases ran,
+	// summed over both axes and all outer rounds — the dominant cost term,
+	// and the number a warm start is supposed to shrink.
+	Sweeps int
 }
 
 // Run executes I(TS,CS) on the input. Every CORRECT round cold-starts its
@@ -235,6 +239,7 @@ func run(cfg Config, in Input, warm *WarmState, carry bool) (*Output, error) {
 			return nil, fmt.Errorf("core: reconstruct Y: %w", errY)
 		}
 		xHat, yHat = resX.SHat, resY.SHat
+		out.Sweeps += resX.Iterations + resY.Iterations
 		if iter == 0 {
 			out.WarmStarted = resX.WarmStarted || resY.WarmStarted
 		}

@@ -40,6 +40,9 @@ func (h *Histogram) Observe(d time.Duration) {
 type HistogramSnapshot struct {
 	// Count is the number of observations.
 	Count uint64 `json:"count"`
+	// SumMS is the total observed latency in milliseconds; a Prometheus
+	// histogram exposition needs the exact sum alongside the mean.
+	SumMS float64 `json:"sum_ms"`
 	// MeanMS is the arithmetic-mean latency in milliseconds.
 	MeanMS float64 `json:"mean_ms"`
 	// Buckets maps each bucket's upper bound in milliseconds to its count;
@@ -62,8 +65,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Buckets[bound] = c
 	}
 	s.Count = h.n.Load()
+	s.SumMS = float64(h.sumNS.Load()) / 1e6
 	if s.Count > 0 {
-		s.MeanMS = float64(h.sumNS.Load()) / float64(s.Count) / 1e6
+		s.MeanMS = s.SumMS / float64(s.Count)
 	}
 	return s
 }

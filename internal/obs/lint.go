@@ -1,0 +1,351 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates a Prometheus text-format (version 0.0.4)
+// exposition the way `promtool check metrics` would, without the
+// dependency: syntax of comment and sample lines, metric/label name
+// charsets, TYPE-before-samples ordering, duplicate series, counter naming,
+// and histogram integrity (cumulative le buckets ending in +Inf whose count
+// matches <name>_count, with <name>_sum present). It returns the first
+// violation found, or nil for a clean exposition.
+func LintExposition(data []byte) error {
+	typed := make(map[string]string)       // metric name → declared type
+	sampled := make(map[string]bool)       // base names that have emitted samples
+	series := make(map[string]bool)        // duplicate-series detection
+	hists := make(map[string]*histSamples) // histogram accumulation by base name
+
+	for ln, line := range strings.Split(string(data), "\n") {
+		lineNo := ln + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := lintComment(line, lineNo, typed, sampled); err != nil {
+				return err
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line, lineNo)
+		if err != nil {
+			return err
+		}
+		key := name + "{" + canonLabels(labels) + "}"
+		if series[key] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		series[key] = true
+
+		base, suffix := splitHistName(name, typed)
+		sampled[base] = true
+		typ := typed[base]
+		if typ == "counter" {
+			if !strings.HasSuffix(name, "_total") {
+				return fmt.Errorf("line %d: counter %q should end in _total", lineNo, name)
+			}
+			if value < 0 {
+				return fmt.Errorf("line %d: counter %q has negative value %v", lineNo, name, value)
+			}
+		}
+		if typ == "histogram" {
+			h := hists[base]
+			if h == nil {
+				h = &histSamples{buckets: make(map[string][]lePair), sums: make(map[string]bool), counts: make(map[string]float64)}
+				hists[base] = h
+			}
+			if err := h.add(suffix, labels, value, lineNo, name); err != nil {
+				return err
+			}
+		}
+	}
+	for base, h := range hists {
+		if err := h.check(base); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lintComment validates a # HELP / # TYPE line (other comments pass).
+func lintComment(line string, lineNo int, typed map[string]string, sampled map[string]bool) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("line %d: malformed HELP line %q", lineNo, line)
+		}
+	case "TYPE":
+		if len(fields) != 4 || !validMetricName(fields[2]) {
+			return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+		}
+		name, typ := fields[2], fields[3]
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("line %d: unknown metric type %q for %s", lineNo, typ, name)
+		}
+		if _, dup := typed[name]; dup {
+			return fmt.Errorf("line %d: second TYPE line for %s", lineNo, name)
+		}
+		if sampled[name] {
+			return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+		}
+		typed[name] = typ
+	}
+	return nil
+}
+
+// parseSample splits `name{labels} value [timestamp]` into parts.
+func parseSample(line string, lineNo int) (name string, labels []Label, value float64, err error) {
+	rest := line
+	i := 0
+	for i < len(rest) && isNameChar(rest[i], i == 0) {
+		i++
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("line %d: invalid metric name in %q", lineNo, line)
+	}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := findLabelsEnd(rest)
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("line %d: unterminated label set in %q", lineNo, line)
+		}
+		labels, err = parseLabels(rest[1:end], lineNo)
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("line %d: want `value [timestamp]` after series, got %q", lineNo, rest)
+	}
+	value, err = strconv.ParseFloat(strings.TrimPrefix(fields[0], "+"), 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("line %d: bad sample value %q", lineNo, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("line %d: bad timestamp %q", lineNo, fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// findLabelsEnd locates the closing brace, honoring quoted label values.
+func findLabelsEnd(s string) int {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++ // skip the escaped byte
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == '}':
+			return i
+		}
+	}
+	return -1
+}
+
+// parseLabels splits `a="x",b="y"` into pairs, validating names and escapes.
+func parseLabels(s string, lineNo int) ([]Label, error) {
+	var out []Label
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("line %d: label without value in %q", lineNo, s)
+		}
+		name := s[:eq]
+		if !validLabelName(name) {
+			return nil, fmt.Errorf("line %d: invalid label name %q", lineNo, name)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, fmt.Errorf("line %d: unquoted value for label %q", lineNo, name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("line %d: dangling escape in label %q", lineNo, name)
+				}
+				i++
+				switch s[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("line %d: bad escape \\%c in label %q", lineNo, s[i], name)
+				}
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("line %d: unterminated value for label %q", lineNo, name)
+		}
+		out = append(out, Label{Name: name, Value: val.String()})
+		s = strings.TrimPrefix(s, ",")
+	}
+	return out, nil
+}
+
+// histSamples accumulates one histogram's series, keyed by its non-le
+// label sets.
+type histSamples struct {
+	buckets map[string][]lePair
+	sums    map[string]bool
+	counts  map[string]float64
+}
+
+type lePair struct {
+	le  float64
+	val float64
+}
+
+func (h *histSamples) add(suffix string, labels []Label, value float64, lineNo int, name string) error {
+	var rest []Label
+	le := ""
+	for _, l := range labels {
+		if l.Name == "le" {
+			le = l.Value
+			continue
+		}
+		rest = append(rest, l)
+	}
+	key := canonLabels(rest)
+	switch suffix {
+	case "_bucket":
+		if le == "" {
+			return fmt.Errorf("line %d: %s without an le label", lineNo, name)
+		}
+		bound, err := strconv.ParseFloat(strings.TrimPrefix(le, "+"), 64)
+		if err != nil {
+			return fmt.Errorf("line %d: unparseable le %q on %s", lineNo, le, name)
+		}
+		h.buckets[key] = append(h.buckets[key], lePair{le: bound, val: value})
+	case "_sum":
+		h.sums[key] = true
+	case "_count":
+		h.counts[key] = value
+	default:
+		return fmt.Errorf("line %d: histogram sample %s must end in _bucket, _sum or _count", lineNo, name)
+	}
+	return nil
+}
+
+// check enforces histogram integrity per label set.
+func (h *histSamples) check(base string) error {
+	for key, pairs := range h.buckets {
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].le < pairs[j].le })
+		prev := -1.0
+		haveInf := false
+		var infVal float64
+		for _, p := range pairs {
+			if p.val < prev {
+				return fmt.Errorf("histogram %s{%s}: bucket counts not cumulative at le=%v", base, key, p.le)
+			}
+			prev = p.val
+			if p.le > 1e308 { // +Inf
+				haveInf = true
+				infVal = p.val
+			}
+		}
+		if !haveInf {
+			return fmt.Errorf("histogram %s{%s}: missing le=\"+Inf\" bucket", base, key)
+		}
+		count, ok := h.counts[key]
+		if !ok {
+			return fmt.Errorf("histogram %s{%s}: missing %s_count", base, key, base)
+		}
+		if count != infVal {
+			return fmt.Errorf("histogram %s{%s}: _count %v != +Inf bucket %v", base, key, count, infVal)
+		}
+		if !h.sums[key] {
+			return fmt.Errorf("histogram %s{%s}: missing %s_sum", base, key, base)
+		}
+	}
+	return nil
+}
+
+// splitHistName maps a sample name onto its TYPE-declared base: for a
+// declared histogram, `x_bucket` belongs to `x`. Returns the base name and
+// the histogram suffix ("" for plain samples).
+func splitHistName(name string, typed map[string]string) (base, suffix string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if b := strings.TrimSuffix(name, suf); b != name && typed[b] == "histogram" {
+			return b, suf
+		}
+	}
+	return name, ""
+}
+
+// canonLabels serializes labels order-independently for dedup keys.
+func canonLabels(labels []Label) string {
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Name + "=" + strconv.Quote(l.Value)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c == '_' || c == ':':
+		return true
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintAcceptsValidExposition(t *testing.T) {
+	good := `# HELP up Whether the scrape worked.
+# TYPE up gauge
+up 1
+# HELP http_requests_total Requests served.
+# TYPE http_requests_total counter
+http_requests_total{code="200",path="/metrics"} 1027
+http_requests_total{code="500",path="/metrics"} 3
+# HELP rpc_seconds RPC latency.
+# TYPE rpc_seconds histogram
+rpc_seconds_bucket{le="0.1"} 2
+rpc_seconds_bucket{le="1"} 5
+rpc_seconds_bucket{le="+Inf"} 6
+rpc_seconds_sum 4.5
+rpc_seconds_count 6
+untyped_metric 3.14 1700000000
+`
+	if err := LintExposition([]byte(good)); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestLintRejections(t *testing.T) {
+	cases := map[string]string{
+		"bad metric name": "9up 1\n",
+		"bad value":       "up one\n",
+		"bad type":        "# TYPE up speedometer\n",
+		"duplicate TYPE":  "# TYPE up gauge\n# TYPE up gauge\nup 1\n",
+		"TYPE after samples": `up 1
+# TYPE up gauge
+`,
+		"duplicate series": "up{a=\"1\"} 1\nup{a=\"1\"} 2\n",
+		"counter not _total": `# TYPE hits counter
+hits 3
+`,
+		"negative counter": `# TYPE hits_total counter
+hits_total -1
+`,
+		"unquoted label":    `up{a=1} 1` + "\n",
+		"bad escape":        `up{a="\q"} 1` + "\n",
+		"unterminated set":  `up{a="1" 1` + "\n",
+		"label name __meta": `up{__a="1"} 1` + "\n",
+		"bucket without le": `# TYPE h histogram
+h_bucket 1
+h_sum 0
+h_count 1
+`,
+		"missing +Inf": `# TYPE h histogram
+h_bucket{le="1"} 1
+h_sum 0
+h_count 1
+`,
+		"non-cumulative buckets": `# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="2"} 3
+h_bucket{le="+Inf"} 5
+h_sum 0
+h_count 5
+`,
+		"count mismatch": `# TYPE h histogram
+h_bucket{le="+Inf"} 5
+h_sum 0
+h_count 4
+`,
+		"missing sum": `# TYPE h histogram
+h_bucket{le="+Inf"} 5
+h_count 5
+`,
+		"stray histogram sample": `# TYPE h histogram
+h 5
+`,
+	}
+	for name, in := range cases {
+		if err := LintExposition([]byte(in)); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, in)
+		}
+	}
+}
+
+func TestLintHistogramPerLabelSet(t *testing.T) {
+	// Two phases of the same histogram must be validated independently.
+	in := `# TYPE h histogram
+h_bucket{phase="a",le="1"} 1
+h_bucket{phase="a",le="+Inf"} 2
+h_sum{phase="a"} 1.5
+h_count{phase="a"} 2
+h_bucket{phase="b",le="1"} 0
+h_bucket{phase="b",le="+Inf"} 0
+h_sum{phase="b"} 0
+h_count{phase="b"} 0
+`
+	if err := LintExposition([]byte(in)); err != nil {
+		t.Fatalf("labeled histogram rejected: %v", err)
+	}
+	broken := strings.Replace(in, `h_count{phase="b"} 0`, `h_count{phase="b"} 9`, 1)
+	if err := LintExposition([]byte(broken)); err == nil {
+		t.Error("per-label-set count mismatch accepted")
+	}
+}

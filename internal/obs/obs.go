@@ -1,0 +1,62 @@
+// Package obs is the serving stack's observability layer: structured
+// logging (log/slog construction shared by the daemon and the examples), a
+// dependency-free Prometheus text-format exposition builder plus a matching
+// lint pass, and per-window trace spans with a bounded retention ring.
+//
+// The package deliberately owns no global state: the daemon constructs a
+// Logger, hands the pipeline an Observer, and renders /metrics from
+// snapshots. Everything here is safe for concurrent use unless noted.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogFormats lists the values NewLogger accepts for format.
+const (
+	LogText = "text"
+	LogJSON = "json"
+)
+
+// NewLogger builds a leveled slog.Logger writing to w. format selects the
+// handler ("text" for human-readable key=value lines, "json" for one JSON
+// object per line); level is one of "debug", "info", "warn", "error".
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	lvl, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case LogText, "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case LogJSON:
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+}
+
+// ParseLevel maps the daemon's -log-level flag values onto slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// Discard returns a logger that drops everything; it stands in wherever a
+// component requires a non-nil logger but the caller wants silence (tests,
+// library use of the pipeline without a daemon around it).
+func Discard() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello", "fleet", "cab")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json handler emitted non-JSON %q: %v", buf.String(), err)
+	}
+	if rec["msg"] != "hello" || rec["fleet"] != "cab" {
+		t.Errorf("record = %v", rec)
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "text", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("below level")
+	lg.Warn("visible", "seq", 3)
+	out := buf.String()
+	if strings.Contains(out, "below level") {
+		t.Error("info line leaked through warn level")
+	}
+	if !strings.Contains(out, "visible") || !strings.Contains(out, "seq=3") {
+		t.Errorf("text output = %q", out)
+	}
+
+	if _, err := NewLogger(&buf, "xml", "info"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := NewLogger(&buf, "json", "loud"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "ERROR": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+}
+
+func TestDiscardLoggerSilent(t *testing.T) {
+	// Must not panic and must not write anywhere observable.
+	Discard().Error("dropped")
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingRetainsNewestFirst(t *testing.T) {
+	r := NewRing(3)
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty ring snapshot = %v", got)
+	}
+	for seq := 0; seq < 5; seq++ {
+		r.Add(Span{Seq: seq})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	got := r.Snapshot()
+	for i, want := range []int{4, 3, 2} {
+		if got[i].Seq != want {
+			t.Errorf("snapshot[%d].Seq = %d, want %d", i, got[i].Seq, want)
+		}
+	}
+}
+
+func TestRingZeroDepth(t *testing.T) {
+	for _, depth := range []int{0, -4} {
+		r := NewRing(depth)
+		r.Add(Span{Seq: 1})
+		if r.Len() != 0 || len(r.Snapshot()) != 0 {
+			t.Errorf("depth %d ring retained spans", depth)
+		}
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add(Span{Seq: g*100 + i})
+				r.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 8 {
+		t.Errorf("Len = %d, want 8", r.Len())
+	}
+}
+
+func TestLogObserverSlowWindowEscalates(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "text", "warn") // warn level: debug lines invisible
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &LogObserver{Log: lg, SlowWindow: 100 * time.Millisecond}
+
+	o.WindowProcessed(Span{Fleet: "cab", Seq: 1, QueueWaitMS: 1, RunMS: 5})
+	if buf.Len() != 0 {
+		t.Errorf("fast window logged above debug: %q", buf.String())
+	}
+
+	o.WindowProcessed(Span{Fleet: "cab", Seq: 2, QueueWaitMS: 60, RunMS: 50})
+	out := buf.String()
+	if !strings.Contains(out, "slow window") || !strings.Contains(out, "level=WARN") {
+		t.Errorf("slow window not warned: %q", out)
+	}
+	if !strings.Contains(out, "fleet=cab") || !strings.Contains(out, "seq=2") {
+		t.Errorf("span fields missing: %q", out)
+	}
+
+	buf.Reset()
+	o.WindowDropped("cab", 7, 16)
+	if out := buf.String(); !strings.Contains(out, "dropped") || !strings.Contains(out, "seq=7") {
+		t.Errorf("drop log = %q", out)
+	}
+
+	buf.Reset()
+	o.WindowFailed("cab", 9, fmt.Errorf("boom"))
+	if out := buf.String(); !strings.Contains(out, "level=ERROR") || !strings.Contains(out, "boom") {
+		t.Errorf("failure log = %q", out)
+	}
+}
+
+func TestLogObserverZeroThresholdNeverWarns(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "text", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &LogObserver{Log: lg} // SlowWindow 0: threshold disabled
+	o.WindowProcessed(Span{Fleet: "cab", RunMS: 1e9})
+	if buf.Len() != 0 {
+		t.Errorf("disabled threshold still warned: %q", buf.String())
+	}
+}

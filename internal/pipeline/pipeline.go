@@ -24,12 +24,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"itscs/internal/core"
 	"itscs/internal/csrecon"
 	"itscs/internal/mat"
 	"itscs/internal/mcs"
+	"itscs/internal/obs"
 	"itscs/internal/wal"
 )
 
@@ -43,9 +45,14 @@ var (
 	// ErrTooManyFleets is returned when a report names a fleet that would
 	// exceed Config.MaxFleets.
 	ErrTooManyFleets = errors.New("pipeline: too many fleets")
-	// ErrUnknownFleet is returned by Latest and Flush for a fleet that has
-	// never reported.
+	// ErrUnknownFleet is returned by Latest, Trace and Flush for a fleet
+	// that has never reported.
 	ErrUnknownFleet = errors.New("pipeline: unknown fleet")
+	// ErrNoResult is returned by Latest for a known fleet none of whose
+	// windows has completed detection yet — distinct from ErrUnknownFleet so
+	// callers (and the daemon's HTTP layer) can answer "not yet" instead of
+	// "no such fleet".
+	ErrNoResult = errors.New("pipeline: no completed window yet")
 	// ErrNotRestorable is returned by Restore on an engine that has already
 	// ingested reports or been closed, or for a checkpoint whose shape does
 	// not match the configuration.
@@ -102,6 +109,15 @@ type Config struct {
 	// ingestion gate, so it must be cheap and must not call back into the
 	// engine (signal a channel instead).
 	OnWindowClose func(totalClosed uint64)
+	// Obs, when set, receives window lifecycle events: a trace span for
+	// every processed window, plus drop and failure notifications that
+	// would otherwise only move counters. Callbacks run on engine
+	// goroutines — they must be cheap and must not call back into the
+	// engine. obs.LogObserver is the production implementation.
+	Obs obs.Observer
+	// TraceDepth bounds the per-fleet ring of recent window trace spans
+	// served by Trace (default 64; negative retains none).
+	TraceDepth int
 	// Core configures the per-window DETECT→CORRECT→CHECK loop.
 	Core core.Config
 }
@@ -161,9 +177,11 @@ type WindowResult struct {
 	// the framework judged faulty.
 	Observed int `json:"observed"`
 	Flagged  int `json:"flagged"`
-	// Iterations and Converged describe the outer loop; WarmStarted
-	// reports whether CORRECT consumed the previous window's factors.
+	// Iterations and Converged describe the outer loop; Sweeps totals the
+	// ASD sweeps CORRECT ran across rounds and axes; WarmStarted reports
+	// whether CORRECT consumed the previous window's factors.
 	Iterations  int  `json:"iterations"`
+	Sweeps      int  `json:"sweeps"`
 	Converged   bool `json:"converged"`
 	WarmStarted bool `json:"warm_started"`
 	// QueueWaitMS and RunMS are this window's queue residence and
@@ -206,6 +224,11 @@ type shard struct {
 	warm    *core.WarmState
 	warmSeq int
 	latest  *WindowResult
+
+	// dropped counts this fleet's windows evicted under backpressure;
+	// spans retains the fleet's most recent trace records.
+	dropped atomic.Uint64
+	spans   *obs.Ring
 }
 
 // Engine is the streaming detection engine. It implements mcs.Ingestor, so
@@ -249,6 +272,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.MaxFleets == 0 {
 		cfg.MaxFleets = 64
+	}
+	if cfg.TraceDepth == 0 {
+		cfg.TraceDepth = 64
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -413,8 +439,8 @@ func (e *Engine) shutdown(drain bool) {
 	drop:
 		for {
 			select {
-			case <-e.queue:
-				e.c.windowsDropped.Add(1)
+			case j := <-e.queue:
+				e.noteDropped(j)
 			default:
 				break drop
 			}
@@ -546,6 +572,7 @@ func (e *Engine) Restore(ck *wal.Checkpoint) error {
 			vx:      sc.VX,
 			vy:      sc.VY,
 			ex:      sc.EX,
+			spans:   obs.NewRing(e.cfg.TraceDepth),
 		}
 		if sc.WarmLX != nil {
 			sh.warm = &core.WarmState{
@@ -587,8 +614,10 @@ func (e *Engine) Subscribe(buffer int) (<-chan *WindowResult, func()) {
 	return ch, cancel
 }
 
-// Latest returns the newest completed window result for the fleet, or
-// ErrUnknownFleet / nil result if none has completed yet.
+// Latest returns the newest completed window result for the fleet. It
+// returns ErrUnknownFleet for a fleet that has never reported and
+// ErrNoResult for a known fleet with no completed window yet; the result is
+// non-nil exactly when the error is nil.
 func (e *Engine) Latest(fleet string) (*WindowResult, error) {
 	e.shardMu.Lock()
 	sh := e.shards[fleet]
@@ -598,7 +627,23 @@ func (e *Engine) Latest(fleet string) (*WindowResult, error) {
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if sh.latest == nil {
+		return nil, fmt.Errorf("%w: fleet %q", ErrNoResult, fleet)
+	}
 	return sh.latest, nil
+}
+
+// Trace returns the fleet's retained window trace spans, newest first (up
+// to Config.TraceDepth). An empty slice means the fleet exists but no
+// window has completed recently; an unknown fleet is an error.
+func (e *Engine) Trace(fleet string) ([]obs.Span, error) {
+	e.shardMu.Lock()
+	sh := e.shards[fleet]
+	e.shardMu.Unlock()
+	if sh == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownFleet, fleet)
+	}
+	return sh.spans.Snapshot(), nil
 }
 
 // Fleets lists the materialized fleet IDs, sorted.
@@ -643,6 +688,14 @@ func (e *Engine) Stats() Stats {
 	}
 	e.shardMu.Lock()
 	s.Fleets = len(e.shards)
+	for name, sh := range e.shards {
+		if n := sh.dropped.Load(); n != 0 {
+			if s.WindowsDroppedByFleet == nil {
+				s.WindowsDroppedByFleet = make(map[string]uint64)
+			}
+			s.WindowsDroppedByFleet[name] = n
+		}
+	}
 	e.shardMu.Unlock()
 	return s
 }
@@ -666,6 +719,7 @@ func (e *Engine) shard(fleet string) (*shard, error) {
 		vx:      mat.New(n, capSlots),
 		vy:      mat.New(n, capSlots),
 		ex:      mat.New(n, capSlots),
+		spans:   obs.NewRing(e.cfg.TraceDepth),
 	}
 	e.shards[fleet] = sh
 	return sh, nil
@@ -673,21 +727,43 @@ func (e *Engine) shard(fleet string) (*shard, error) {
 
 // enqueue places a job on the dispatch queue, evicting the oldest queued
 // window when full. qmu admits one producer at a time, so after at most one
-// eviction the send succeeds (workers only ever make room).
+// eviction the send succeeds (workers only ever make room). Evictions are
+// accounted after qmu is released so an Observer callback cannot stall a
+// competing producer.
 func (e *Engine) enqueue(j job) {
+	var evicted []job
 	e.qmu.Lock()
-	defer e.qmu.Unlock()
 	for {
 		select {
 		case e.queue <- j:
+			e.qmu.Unlock()
+			for _, old := range evicted {
+				e.noteDropped(old)
+			}
 			return
 		default:
 		}
 		select {
-		case <-e.queue:
-			e.c.windowsDropped.Add(1)
+		case old := <-e.queue:
+			evicted = append(evicted, old)
 		default:
 		}
+	}
+}
+
+// noteDropped records one evicted window: the global and per-fleet drop
+// counters move, and the observer hears which fleet lost which window —
+// these are fully ingested (and, when durable, WAL-acked) windows whose
+// disappearance used to be a bare counter bump.
+func (e *Engine) noteDropped(j job) {
+	e.c.windowsDropped.Add(1)
+	fleet := ""
+	if j.sh != nil {
+		j.sh.dropped.Add(1)
+		fleet = j.sh.fleet
+	}
+	if e.cfg.Obs != nil {
+		e.cfg.Obs.WindowDropped(fleet, j.seq, len(e.queue))
 	}
 }
 
@@ -820,8 +896,12 @@ func (e *Engine) process(j job) {
 	out, err := core.RunWarm(e.cfg.Core, j.in, warm)
 	if err != nil {
 		// A window the core refuses (it validated shapes we built, so this
-		// is effectively unreachable) is dropped but visible in the stats.
+		// is effectively unreachable) is dropped but visible in the stats
+		// and reported to the observer instead of vanishing silently.
 		e.c.windowsFailed.Add(1)
+		if e.cfg.Obs != nil {
+			e.cfg.Obs.WindowFailed(j.sh.fleet, j.seq, err)
+		}
 		return
 	}
 	runDur := time.Since(began)
@@ -842,6 +922,7 @@ func (e *Engine) process(j job) {
 		EndSlot:     j.start + e.cfg.WindowSlots,
 		Observed:    j.observed,
 		Iterations:  out.Iterations,
+		Sweeps:      out.Sweeps,
 		Converged:   out.Converged,
 		WarmStarted: out.WarmStarted,
 		QueueWaitMS: float64(began.Sub(j.enqueued)) / 1e6,
@@ -851,6 +932,29 @@ func (e *Engine) process(j job) {
 		Input:       j.in,
 	}
 	res.Flagged = len(res.Flags)
+
+	span := obs.Span{
+		Fleet:       res.Fleet,
+		Seq:         res.Seq,
+		StartSlot:   res.StartSlot,
+		EndSlot:     res.EndSlot,
+		Observed:    res.Observed,
+		Flagged:     res.Flagged,
+		Iterations:  res.Iterations,
+		Sweeps:      res.Sweeps,
+		Converged:   res.Converged,
+		WarmStarted: res.WarmStarted,
+		QueueWaitMS: res.QueueWaitMS,
+		DetectMS:    float64(out.DetectDuration) / 1e6,
+		CorrectMS:   float64(out.CorrectDuration) / 1e6,
+		CheckMS:     float64(out.CheckDuration) / 1e6,
+		RunMS:       res.RunMS,
+		CompletedAt: time.Now(),
+	}
+	j.sh.spans.Add(span)
+	if e.cfg.Obs != nil {
+		e.cfg.Obs.WindowProcessed(span)
+	}
 
 	j.sh.mu.Lock()
 	// Workers may finish out of order; only newer windows advance the warm

@@ -2,11 +2,13 @@ package pipeline
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
 	"itscs/internal/corrupt"
 	"itscs/internal/mcs"
+	"itscs/internal/obs"
 	"itscs/internal/trace"
 )
 
@@ -192,11 +194,23 @@ func TestShardFastForward(t *testing.T) {
 }
 
 // TestEnqueueDropOldest exercises the backpressure policy on an engine with
-// no workers, so the queue cannot drain.
+// no workers, so the queue cannot drain; evictions must reach the per-fleet
+// breakdown and the observer, not just the global counter.
 func TestEnqueueDropOldest(t *testing.T) {
-	e := &Engine{cfg: mechConfig(2, 4, 2), queue: make(chan job, 2)}
+	rec := &recordingObserver{}
+	cfg := mechConfig(2, 4, 2)
+	cfg.Obs = rec
+	e := &Engine{
+		cfg:    cfg,
+		queue:  make(chan job, 2),
+		shards: make(map[string]*shard),
+	}
+	sh, err := e.shard("cab")
+	if err != nil {
+		t.Fatal(err)
+	}
 	for seq := 0; seq < 4; seq++ {
-		e.enqueue(job{seq: seq})
+		e.enqueue(job{sh: sh, seq: seq})
 	}
 	if got := e.c.windowsDropped.Load(); got != 2 {
 		t.Fatalf("dropped = %d, want 2", got)
@@ -205,6 +219,40 @@ func TestEnqueueDropOldest(t *testing.T) {
 	if first.seq != 2 || second.seq != 3 {
 		t.Fatalf("queue kept seqs %d,%d, want 2,3 (newest)", first.seq, second.seq)
 	}
+	if got := e.Stats().WindowsDroppedByFleet["cab"]; got != 2 {
+		t.Errorf("per-fleet drops = %d, want 2", got)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.dropped) != 2 || rec.dropped[0] != 0 || rec.dropped[1] != 1 {
+		t.Errorf("observer saw drops %v, want [0 1]", rec.dropped)
+	}
+}
+
+// recordingObserver captures observer callbacks for assertions.
+type recordingObserver struct {
+	mu        sync.Mutex
+	processed []obs.Span
+	dropped   []int // evicted window seqs
+	failed    []int
+}
+
+func (r *recordingObserver) WindowProcessed(s obs.Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.processed = append(r.processed, s)
+}
+
+func (r *recordingObserver) WindowDropped(fleet string, seq, queueDepth int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dropped = append(r.dropped, seq)
+}
+
+func (r *recordingObserver) WindowFailed(fleet string, seq int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failed = append(r.failed, seq)
 }
 
 func TestIngestValidation(t *testing.T) {
@@ -229,6 +277,17 @@ func TestIngestValidation(t *testing.T) {
 	}
 	if _, err := e.Latest("nope"); !errors.Is(err, ErrUnknownFleet) {
 		t.Errorf("Latest err = %v, want ErrUnknownFleet", err)
+	}
+	// A known fleet with no completed window is a different condition than
+	// an unknown fleet — and never a silent (nil, nil).
+	if res, err := e.Latest("a"); !errors.Is(err, ErrNoResult) || res != nil {
+		t.Errorf("Latest before first window = (%v, %v), want (nil, ErrNoResult)", res, err)
+	}
+	if _, err := e.Trace("nope"); !errors.Is(err, ErrUnknownFleet) {
+		t.Errorf("Trace err = %v, want ErrUnknownFleet", err)
+	}
+	if spans, err := e.Trace("a"); err != nil || len(spans) != 0 {
+		t.Errorf("Trace before first window = (%v, %v), want empty", spans, err)
 	}
 	if err := e.Flush("nope"); !errors.Is(err, ErrUnknownFleet) {
 		t.Errorf("Flush err = %v, want ErrUnknownFleet", err)
@@ -301,8 +360,10 @@ func TestEngineProcessesWindows(t *testing.T) {
 		w = 60
 		h = 20
 	)
+	rec := &recordingObserver{}
 	cfg := mechConfig(n, w, h)
 	cfg.Workers = 1 // serialize windows so warm state is ready for window 2
+	cfg.Obs = rec
 	fleet, res := fixture(t, n, w+2*h+1, 0.1, 0.1)
 
 	e, err := New(cfg)
@@ -364,6 +425,41 @@ func TestEngineProcessesWindows(t *testing.T) {
 	}
 	if fleets := e.Fleets(); len(fleets) != 1 || fleets[0] != "cab" {
 		t.Errorf("fleets = %v", fleets)
+	}
+
+	// Every processed window must leave a trace span — in the fleet's ring
+	// (newest first) and at the observer — carrying the per-phase split.
+	spans, err := e.Trace("cab")
+	if err != nil || len(spans) < 2 {
+		t.Fatalf("Trace = %d spans, err %v; want >= 2", len(spans), err)
+	}
+	if spans[0].Seq <= spans[1].Seq {
+		t.Errorf("spans not newest-first: seqs %d, %d", spans[0].Seq, spans[1].Seq)
+	}
+	for _, s := range spans {
+		if s.Fleet != "cab" || s.EndSlot-s.StartSlot != w {
+			t.Errorf("span = %+v", s)
+		}
+		if s.RunMS <= 0 || s.QueueWaitMS < 0 || s.DetectMS <= 0 || s.CorrectMS <= 0 || s.CheckMS <= 0 {
+			t.Errorf("span durations = %+v", s)
+		}
+		if s.Sweeps <= 0 || s.Iterations <= 0 {
+			t.Errorf("span loop stats = %+v", s)
+		}
+		if s.CompletedAt.IsZero() {
+			t.Errorf("span missing completion stamp: %+v", s)
+		}
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.processed) < 2 {
+		t.Errorf("observer saw %d processed windows, want >= 2", len(rec.processed))
+	}
+	if len(rec.dropped) != 0 || len(rec.failed) != 0 {
+		t.Errorf("observer saw drops %v / failures %v on a healthy run", rec.dropped, rec.failed)
+	}
+	if got[1].Sweeps <= 0 {
+		t.Errorf("warm window sweeps = %d, want > 0", got[1].Sweeps)
 	}
 }
 

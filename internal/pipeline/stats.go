@@ -57,6 +57,10 @@ type Stats struct {
 	WindowsDropped   uint64 `json:"windows_dropped"`
 	WindowsProcessed uint64 `json:"windows_processed"`
 	WindowsFailed    uint64 `json:"windows_failed"`
+	// WindowsDroppedByFleet breaks WindowsDropped down by fleet, so
+	// operators can see who is losing data; fleets with no drops are
+	// omitted (and the map is nil when nothing has ever been dropped).
+	WindowsDroppedByFleet map[string]uint64 `json:"windows_dropped_by_fleet,omitempty"`
 	// WarmStarts and ColdStarts split processed windows by whether CORRECT
 	// consumed the previous window's factorization.
 	WarmStarts uint64 `json:"warm_starts"`

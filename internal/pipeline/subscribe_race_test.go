@@ -1,0 +1,119 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSubscribeCancelCloseRace hammers Subscribe/cancel/publish/Close from
+// many goroutines at once. It asserts nothing beyond termination: under
+// -race (CI runs the suite with the detector on) it pins that the
+// subscription registry has no data races and that Close cannot deadlock
+// against concurrent subscribers, and without -race it still catches
+// double-close panics on subscription channels.
+func TestSubscribeCancelCloseRace(t *testing.T) {
+	e, err := New(mechConfig(2, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				ch, cancel := e.Subscribe(1)
+				if i%2 == 0 {
+					// Drain whatever arrived so far without blocking.
+					select {
+					case <-ch:
+					default:
+					}
+				}
+				cancel()
+				cancel() // idempotent even when racing engine Close
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < 500; i++ {
+			e.publish(&WindowResult{Seq: i})
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		time.Sleep(time.Millisecond)
+		e.Close()
+	}()
+	close(start)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Minute):
+		t.Fatal("subscribe/cancel/close race deadlocked")
+	}
+
+	// Post-Close subscriptions are born closed; cancel stays a no-op.
+	ch, cancel := e.Subscribe(4)
+	if _, open := <-ch; open {
+		t.Error("post-close subscription open")
+	}
+	cancel()
+}
+
+// TestPublishNeverBlocksWorkers pins the non-blocking fan-out end to end: a
+// subscriber whose buffer is permanently full must not stall the worker
+// pool, so windows keep completing and the undeliverable results are
+// counted. (TestPublishDropsSlowSubscriber covers the unit path; this
+// covers the workers' path through process → publish.)
+func TestPublishNeverBlocksWorkers(t *testing.T) {
+	const (
+		n = 24
+		w = 60
+		h = 20
+	)
+	cfg := mechConfig(n, w, h)
+	cfg.Workers = 1
+	fleet, res := fixture(t, n, w+2*h+1, 0.1, 0.1)
+
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subscribe with the minimum buffer and never read: after one result
+	// the channel is full and every later publish must drop, not block.
+	_, cancel := e.Subscribe(1)
+	defer cancel()
+
+	streamFixture(t, e, "cab", fleet, res)
+
+	done := make(chan struct{})
+	go func() {
+		e.Close() // drains the queue through the (possibly stalled) workers
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("worker pool stalled behind a full subscriber")
+	}
+
+	st := e.Stats()
+	if st.WindowsProcessed < 2 {
+		t.Fatalf("windows processed = %d, want >= 2", st.WindowsProcessed)
+	}
+	if st.SubscriberDrops == 0 {
+		t.Error("no subscriber drops counted despite a full buffer")
+	}
+}

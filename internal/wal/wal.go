@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -95,6 +96,11 @@ type Options struct {
 	// SegmentBytes rotates the active segment once it exceeds this size
 	// (default 8 MiB). Only whole closed segments can be compacted away.
 	SegmentBytes int64
+	// Logger, when set, receives structured warnings for the recovery
+	// events that otherwise only move counters: quarantined segments, torn
+	// tails truncated at open, and damaged regions skipped during replay.
+	// nil keeps the log silent.
+	Logger *slog.Logger
 }
 
 // DefaultOptions returns the production defaults.
@@ -257,6 +263,18 @@ func Open(dir string, opt Options) (*Log, error) {
 	return l, nil
 }
 
+// logger returns the configured logger, or a disabled fallback, so log
+// call sites need no nil checks.
+func (l *Log) logger() *slog.Logger {
+	if l.opt.Logger != nil {
+		return l.opt.Logger
+	}
+	return discardLogger
+}
+
+// discardLogger drops everything (its level sits above slog.LevelError).
+var discardLogger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+
 // segPath names the i-th segment created over the log's lifetime.
 func (l *Log) segPath(created uint64) string {
 	return filepath.Join(l.dir, fmt.Sprintf("%s%016x%s", segPrefix, created, segSuffix))
@@ -313,6 +331,8 @@ func (l *Log) scan() error {
 		first, valid, validEnd, serr := scanSegment(p)
 		if first == ^uint64(0) {
 			l.st.corruptSegs.Add(1)
+			l.logger().Warn("wal: quarantining segment with unreadable header",
+				"segment", p, "err", serr)
 			if rerr := os.Rename(p, p+".corrupt"); rerr != nil {
 				return fmt.Errorf("wal: quarantine %s: %w", p, rerr)
 			}
@@ -326,17 +346,23 @@ func (l *Log) scan() error {
 	for _, in := range infos[:len(infos)-1] {
 		if in.err != nil {
 			l.st.corruptSegs.Add(1)
+			l.logger().Warn("wal: interior segment damaged; replay will skip its remainder",
+				"segment", in.path, "first_index", in.first, "valid_records", in.valid, "err", in.err)
 		}
 		l.segs = append(l.segs, segInfo{path: in.path, first: in.first})
 	}
 	last := infos[len(infos)-1]
 	if last.err != nil {
+		var torn int64
 		if fi, statErr := os.Stat(last.path); statErr == nil && fi.Size() > last.validEnd {
-			l.st.truncatedB.Add(uint64(fi.Size() - last.validEnd))
+			torn = fi.Size() - last.validEnd
+			l.st.truncatedB.Add(uint64(torn))
 		}
 		if terr := os.Truncate(last.path, last.validEnd); terr != nil {
 			return fmt.Errorf("wal: truncate torn tail of %s: %w", last.path, terr)
 		}
+		l.logger().Warn("wal: truncated torn tail of final segment",
+			"segment", last.path, "truncated_bytes", torn, "err", last.err)
 	}
 	l.segs = append(l.segs, segInfo{path: last.path, first: last.first})
 	return l.openActive(last.path, last.first+last.valid)
@@ -760,9 +786,13 @@ func (l *Log) skipDamaged(seg segInfo, idx, end uint64) {
 		}
 	}
 	l.segMu.Unlock()
+	var lost uint64
 	if segEnd > idx {
-		l.st.replaySkips.Add(segEnd - idx)
+		lost = segEnd - idx
+		l.st.replaySkips.Add(lost)
 	}
+	l.logger().Warn("wal: skipping damaged region during replay",
+		"segment", seg.path, "from_index", idx, "records_lost", lost)
 }
 
 // syncDir fsyncs a directory so renames and removals inside it are durable.
