@@ -66,6 +66,7 @@ import (
 	"syscall"
 	"time"
 
+	"itscs/internal/fault"
 	"itscs/internal/mcs"
 	"itscs/internal/obs"
 	"itscs/internal/pipeline"
@@ -221,6 +222,15 @@ func (dur *durability) logger() *slog.Logger {
 		return dur.slg
 	}
 	return obs.Discard()
+}
+
+// fs returns the durability filesystem seam: whatever the WAL options carry
+// (the fault harness injects there), defaulting to the real OS.
+func (dur *durability) fs() fault.FS {
+	if dur.opt.FS != nil {
+		return dur.opt.FS
+	}
+	return fault.OS()
 }
 
 // recoveryInfo summarizes what startup restored; it is reported once in
@@ -393,7 +403,7 @@ func newHTTPServer(h http.Handler, readHeader, idle time.Duration) *http.Server 
 func recover_(engine *pipeline.Engine, dur *durability) (*recoveryInfo, error) {
 	began := time.Now()
 	info := &recoveryInfo{LogRecords: dur.log.AppendedIndex()}
-	ck, skipped, err := wal.LatestCheckpoint(dur.dir)
+	ck, skipped, err := wal.LatestCheckpointFS(dur.fs(), dur.dir)
 	info.CheckpointsSkipped = skipped
 	if skipped > 0 {
 		dur.logger().Warn("skipped corrupt checkpoint(s) during recovery",
@@ -463,10 +473,10 @@ func (dur *durability) checkpointOnce(engine *pipeline.Engine, closed uint64) er
 	if err != nil {
 		return err
 	}
-	if _, err := wal.WriteCheckpoint(dur.dir, ck); err != nil {
+	if _, err := wal.WriteCheckpointFS(dur.fs(), dur.dir, ck); err != nil {
 		return err
 	}
-	if _, err := wal.PruneCheckpoints(dur.dir, 2); err != nil {
+	if _, err := wal.PruneCheckpointsFS(dur.fs(), dur.dir, 2); err != nil {
 		return err
 	}
 	if _, err := dur.log.Compact(ck.LogIndex); err != nil {

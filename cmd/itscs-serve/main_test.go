@@ -82,6 +82,13 @@ func TestDaemonEndToEnd(t *testing.T) {
 			})
 		}
 	}
+	// Subscribe before streaming: the first published window is then an
+	// event to wait on, not a condition to poll for. The engine stores the
+	// latest result before publishing, so once the subscription fires the
+	// HTTP endpoint is guaranteed to serve it.
+	results, cancel := d.engine.Subscribe(16)
+	defer cancel()
+
 	acked, err := mcs.SendReports(context.Background(), d.ingestAddr.String(), reports)
 	if err != nil {
 		t.Fatal(err)
@@ -92,19 +99,14 @@ func TestDaemonEndToEnd(t *testing.T) {
 
 	base := "http://" + d.httpBound.String()
 
-	// The first window closes during the stream; poll until it has been
-	// processed and published.
+	select {
+	case <-results:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("no window result published")
+	}
 	var wr pipeline.WindowResult
-	deadline := time.Now().Add(2 * time.Minute)
-	for {
-		status, err := getJSON(base+"/results/cab", &wr)
-		if err == nil && status == http.StatusOK {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("no window result (last status %d, err %v)", status, err)
-		}
-		time.Sleep(50 * time.Millisecond)
+	if status, err := getJSON(base+"/results/cab", &wr); err != nil || status != http.StatusOK {
+		t.Fatalf("results after publish: status %d err %v", status, err)
 	}
 	if wr.Fleet != "cab" || wr.EndSlot-wr.StartSlot != w || wr.Observed == 0 {
 		t.Errorf("window result = %+v", wr)
@@ -270,25 +272,26 @@ func TestDaemonDurableRestart(t *testing.T) {
 		t.Fatalf("recovery = %+v, want 1 fleet and no replay after clean shutdown", d2.recovery)
 	}
 
+	// Subscribe before streaming the second life so the window that spans
+	// the restart — ring state from the checkpoint plus fresh slots — is an
+	// event, not a polling target.
+	results, cancel := d2.engine.Subscribe(16)
+	defer cancel()
+
 	rest := reports(50, tcfg.Slots)
 	if acked, err := mcs.SendReports(context.Background(), d2.ingestAddr.String(), rest); err != nil || acked != len(rest) {
 		t.Fatalf("second life acked %d of %d, err %v", acked, len(rest), err)
 	}
 
-	// A window spanning the restart must complete: it mixes ring state
-	// restored from the checkpoint with freshly streamed slots.
 	base := "http://" + d2.httpBound.String()
+	select {
+	case <-results:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("no window result published after restart")
+	}
 	var wr pipeline.WindowResult
-	deadline := time.Now().Add(2 * time.Minute)
-	for {
-		status, err := getJSON(base+"/results/cab", &wr)
-		if err == nil && status == http.StatusOK {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("no window result after restart (status %d, err %v)", status, err)
-		}
-		time.Sleep(50 * time.Millisecond)
+	if status, err := getJSON(base+"/results/cab", &wr); err != nil || status != http.StatusOK {
+		t.Fatalf("results after restart: status %d err %v", status, err)
 	}
 	if wr.EndSlot-wr.StartSlot != w || wr.Observed == 0 {
 		t.Errorf("post-restart window = %+v", wr)

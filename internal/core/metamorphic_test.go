@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"itscs/internal/mat"
+	"itscs/internal/tsdetect"
+)
+
+// This file holds the metamorphic suite: properties that relate the
+// algorithms' outputs under input transformations with known effects.
+// Each one is an algebraic consequence of the paper's definitions, so a
+// violation is a logic bug, not a tuning issue.
+
+// permuteRows returns a copy of m with row i moved to position perm[i].
+func permuteRows(m *mat.Dense, perm []int) *mat.Dense {
+	n, t := m.Dims()
+	out := mat.New(n, t)
+	for i, p := range perm {
+		copy(out.RowView(p), m.RowView(i))
+	}
+	return out
+}
+
+// matsEqual reports exact element-wise equality.
+func matsEqual(a, b *mat.Dense) bool {
+	n, t := a.Dims()
+	if bn, bt := b.Dims(); bn != n || bt != t {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		ar, br := a.RowView(i), b.RowView(i)
+		for j := 0; j < t; j++ {
+			if ar[j] != br[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestMetamorphicRowPermutation: participants are exchangeable — the
+// framework never looks at row order, so permuting the fleet must permute
+// the detection matrix and nothing else. DETECT is row-local by
+// construction; CORRECT's factorization is permutation-equivariant.
+func TestMetamorphicRowPermutation(t *testing.T) {
+	fleet, res := fixture(t, 12, 60, 0.15, 0.15)
+	in := inputFrom(fleet, res)
+	cfg := DefaultConfig()
+	base, err := Run(cfg, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	n, _ := in.SX.Dims()
+	perm := rng.Perm(n)
+	permuted := Input{
+		SX:        permuteRows(in.SX, perm),
+		SY:        permuteRows(in.SY, perm),
+		Existence: permuteRows(in.Existence, perm),
+		VX:        permuteRows(in.VX, perm),
+		VY:        permuteRows(in.VY, perm),
+	}
+	got, err := Run(cfg, permuted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matsEqual(got.Detection, permuteRows(base.Detection, perm)) {
+		t.Fatal("row permutation changed the detection verdicts")
+	}
+}
+
+// TestMetamorphicTranslationInvariance: TS_Detect compares each point to
+// its window median, so shifting the whole coordinate frame by a constant
+// must not change a single verdict — faults are relative, not absolute.
+func TestMetamorphicTranslationInvariance(t *testing.T) {
+	_, res := fixture(t, 10, 48, 0.2, 0.2)
+	n, slots := res.SX.Dims()
+	avgV := mat.Filled(n, slots, 5)
+	opt := tsdetect.DefaultOptions()
+	ones := mat.Ones(n, slots)
+
+	base, err := tsdetect.Detect(res.SX, nil, avgV, ones, res.Existence, true, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shift := range []float64{1024, -65536, 1 << 20} {
+		shifted := res.SX.Map(func(v float64) float64 { return v + shift })
+		got, err := tsdetect.Detect(shifted, nil, avgV, ones, res.Existence, true, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matsEqual(got, base) {
+			t.Fatalf("translating the frame by %v changed detection", shift)
+		}
+	}
+}
+
+// TestMetamorphicDetectClearOnly: a DETECT pass may only clear flags, never
+// raise them — the low-false-negative contract of Algorithm 1. Feeding it a
+// detection matrix must yield an element-wise subset.
+func TestMetamorphicDetectClearOnly(t *testing.T) {
+	_, res := fixture(t, 8, 40, 0.2, 0.3)
+	n, slots := res.SX.Dims()
+	avgV := mat.Filled(n, slots, 3)
+	rng := rand.New(rand.NewSource(17))
+	d := mat.New(n, slots)
+	d.Apply(func(i, j int, v float64) float64 {
+		if rng.Float64() < 0.5 {
+			return 1
+		}
+		return 0
+	})
+	got, err := tsdetect.Detect(res.SX, nil, avgV, d, res.Existence, true, tsdetect.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		dr, gr := d.RowView(i), got.RowView(i)
+		for j := 0; j < slots; j++ {
+			if gr[j] > dr[j] {
+				t.Fatalf("detect raised flag at (%d,%d): %v -> %v", i, j, dr[j], gr[j])
+			}
+		}
+	}
+}
+
+// TestMetamorphicCheckMonotone: Check() is monotone in the detection
+// matrix. Cells that agree with the reconstruction come out 0, cells that
+// strongly disagree come out 1, and the band between passes the input
+// through — so d1 ≤ d2 implies check(d1) ≤ check(d2), element-wise.
+func TestMetamorphicCheckMonotone(t *testing.T) {
+	const n, slots = 9, 30
+	rng := rand.New(rand.NewSource(23))
+	s := mat.New(n, slots)
+	sHat := mat.New(n, slots)
+	e := mat.New(n, slots)
+	d2 := mat.New(n, slots)
+	d1 := mat.New(n, slots)
+	for i := 0; i < n; i++ {
+		for j := 0; j < slots; j++ {
+			sHat.Set(i, j, rng.Float64()*1e4)
+			// Spread residuals across clear / keep / raise bands.
+			s.Set(i, j, sHat.At(i, j)+rng.Float64()*1200-600)
+			if rng.Float64() < 0.8 {
+				e.Set(i, j, 1)
+			}
+			if rng.Float64() < 0.5 {
+				d2.Set(i, j, 1)
+				if rng.Float64() < 0.5 {
+					d1.Set(i, j, 1) // d1 is a random subset of d2
+				}
+			}
+		}
+	}
+	c1 := check(s, sHat, d1, e, 300, 600)
+	c2 := check(s, sHat, d2, e, 300, 600)
+	for i := 0; i < n; i++ {
+		r1, r2 := c1.RowView(i), c2.RowView(i)
+		for j := 0; j < slots; j++ {
+			if r1[j] > r2[j] {
+				t.Fatalf("check not monotone at (%d,%d): subset input flagged, superset clean", i, j)
+			}
+		}
+	}
+	// Missing cells must pass through untouched: no sensory value, no verdict.
+	for i := 0; i < n; i++ {
+		for j := 0; j < slots; j++ {
+			if e.At(i, j) == 0 && c2.At(i, j) != d2.At(i, j) {
+				t.Fatalf("check flipped a missing cell at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestMetamorphicGBIMProperties: the Generalized Binary Index Matrix of
+// Definition 7 trusts exactly the observed-and-unflagged cells, so B ∧ D
+// is empty and B ≤ E, for any detection matrix.
+func TestMetamorphicGBIMProperties(t *testing.T) {
+	const n, slots = 7, 25
+	rng := rand.New(rand.NewSource(29))
+	e := mat.New(n, slots)
+	d := mat.New(n, slots)
+	for i := 0; i < n; i++ {
+		for j := 0; j < slots; j++ {
+			if rng.Float64() < 0.7 {
+				e.Set(i, j, 1)
+			}
+			if rng.Float64() < 0.4 {
+				d.Set(i, j, 1)
+			}
+		}
+	}
+	b := gbim(e, d)
+	for i := 0; i < n; i++ {
+		br, dr, er := b.RowView(i), d.RowView(i), e.RowView(i)
+		for j := 0; j < slots; j++ {
+			if br[j] == 1 && dr[j] == 1 {
+				t.Fatalf("B trusts a flagged cell at (%d,%d)", i, j)
+			}
+			if br[j] > er[j] {
+				t.Fatalf("B trusts an unobserved cell at (%d,%d)", i, j)
+			}
+			if er[j] == 1 && dr[j] == 0 && br[j] != 1 {
+				t.Fatalf("B distrusts a clean observed cell at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestMetamorphicMaskIdempotent: masking detection to observed cells is
+// idempotent and zeroes exactly the unobserved entries.
+func TestMetamorphicMaskIdempotent(t *testing.T) {
+	const n, slots = 6, 20
+	rng := rand.New(rand.NewSource(31))
+	e := mat.New(n, slots)
+	d := mat.New(n, slots)
+	for i := 0; i < n; i++ {
+		for j := 0; j < slots; j++ {
+			if rng.Float64() < 0.6 {
+				e.Set(i, j, 1)
+			}
+			if rng.Float64() < 0.5 {
+				d.Set(i, j, 1)
+			}
+		}
+	}
+	once := maskDetection(d, e)
+	twice := maskDetection(once, e)
+	if !matsEqual(once, twice) {
+		t.Fatal("maskDetection is not idempotent")
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < slots; j++ {
+			switch {
+			case e.At(i, j) == 0 && once.At(i, j) != 0:
+				t.Fatalf("mask kept a flag on an unobserved cell (%d,%d)", i, j)
+			case e.At(i, j) == 1 && once.At(i, j) != d.At(i, j):
+				t.Fatalf("mask altered an observed cell (%d,%d)", i, j)
+			}
+		}
+	}
+}

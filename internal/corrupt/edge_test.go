@@ -1,0 +1,116 @@
+package corrupt
+
+import (
+	"math"
+	"testing"
+
+	"itscs/internal/mat"
+)
+
+// TestApplyEdgeShapes drives Apply across the degenerate shapes and ratio
+// extremes a generator must survive: empty matrices, single cells, single
+// columns, and corruption ratios near the validity boundary.
+func TestApplyEdgeShapes(t *testing.T) {
+	cases := []struct {
+		name    string
+		n, t    int
+		missing float64
+		faulty  float64
+	}{
+		{"empty", 0, 0, 0, 0},
+		{"single-cell-clean", 1, 1, 0, 0},
+		{"single-column", 5, 1, 0.2, 0.2},
+		{"single-row", 1, 20, 0.25, 0.25},
+		{"almost-all-faulty", 4, 25, 0, 0.9},
+		{"almost-all-missing", 4, 25, 0.9, 0},
+		{"boundary-sum", 3, 30, 0.49, 0.49},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x := mat.Filled(tc.n, tc.t, 100)
+			y := mat.Filled(tc.n, tc.t, -200)
+			plan := DefaultPlan()
+			plan.MissingRatio = tc.missing
+			plan.FaultyRatio = tc.faulty
+			res, err := Apply(plan, x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := tc.n * tc.t
+			wantMissing := int(tc.missing * float64(total))
+			wantFaulty := int(tc.faulty * float64(total))
+			var gotMissing, gotFaulty int
+			for i := 0; i < tc.n; i++ {
+				for j := 0; j < tc.t; j++ {
+					e := res.Existence.At(i, j)
+					f := res.Faulty.At(i, j)
+					switch {
+					case e == 0 && f == 1:
+						t.Fatalf("cell (%d,%d) both missing and faulty", i, j)
+					case e == 0:
+						gotMissing++
+						if res.SX.At(i, j) != 0 || res.SY.At(i, j) != 0 {
+							t.Fatalf("missing cell (%d,%d) kept a value", i, j)
+						}
+					case f == 1:
+						gotFaulty++
+						for axis, d := range map[string]float64{
+							"X": res.SX.At(i, j) - x.At(i, j),
+							"Y": res.SY.At(i, j) - y.At(i, j),
+						} {
+							if ad := math.Abs(d); ad < plan.BiasMinMeters || ad > plan.BiasMaxMeters {
+								t.Fatalf("faulty cell (%d,%d) %s bias %v outside [%v,%v]",
+									i, j, axis, ad, plan.BiasMinMeters, plan.BiasMaxMeters)
+							}
+						}
+					default:
+						if res.SX.At(i, j) != x.At(i, j) || res.SY.At(i, j) != y.At(i, j) {
+							t.Fatalf("clean cell (%d,%d) was altered", i, j)
+						}
+					}
+				}
+			}
+			if gotMissing != wantMissing || gotFaulty != wantFaulty {
+				t.Fatalf("corrupted %d missing / %d faulty, want %d / %d",
+					gotMissing, gotFaulty, wantMissing, wantFaulty)
+			}
+		})
+	}
+}
+
+// TestPlanValidationEdges sweeps the rejection boundary of Plan.Validate.
+func TestPlanValidationEdges(t *testing.T) {
+	base := DefaultPlan()
+	cases := []struct {
+		name   string
+		mutate func(*Plan)
+		ok     bool
+	}{
+		{"default", func(p *Plan) {}, true},
+		{"negative-missing", func(p *Plan) { p.MissingRatio = -0.1 }, false},
+		{"missing-is-one", func(p *Plan) { p.MissingRatio = 1 }, false},
+		{"negative-faulty", func(p *Plan) { p.FaultyRatio = -0.1 }, false},
+		{"sum-is-one", func(p *Plan) { p.MissingRatio, p.FaultyRatio = 0.5, 0.5 }, false},
+		{"sum-just-under", func(p *Plan) { p.MissingRatio, p.FaultyRatio = 0.5, 0.499 }, true},
+		{"zero-bias-min", func(p *Plan) { p.BiasMinMeters = 0 }, false},
+		{"inverted-bias", func(p *Plan) { p.BiasMinMeters, p.BiasMaxMeters = 10, 5 }, false},
+		{"point-bias", func(p *Plan) { p.BiasMinMeters, p.BiasMaxMeters = 7, 7 }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base
+			tc.mutate(&p)
+			if err := p.Validate(); (err == nil) != tc.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+// TestApplyShapeMismatch rejects X/Y shape disagreements instead of
+// corrupting out of bounds.
+func TestApplyShapeMismatch(t *testing.T) {
+	if _, err := Apply(DefaultPlan(), mat.New(2, 3), mat.New(3, 2)); err == nil {
+		t.Fatal("mismatched shapes must be rejected")
+	}
+}

@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for components with timing behavior (the WAL's
+// interval fsync ticker, the pipeline's latency accounting) so tests can
+// drive them deterministically instead of sleeping.
+type Clock interface {
+	Now() time.Time
+	Since(t time.Time) time.Duration
+	NewTicker(d time.Duration) Ticker
+}
+
+// Ticker is the subset of time.Ticker the seams need.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+// RealClock returns the wall clock, the production default.
+func RealClock() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                   { return time.Now() }
+func (realClock) Since(t time.Time) time.Duration  { return time.Since(t) }
+func (realClock) NewTicker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
+
+type realTicker struct{ t *time.Ticker }
+
+func (t realTicker) C() <-chan time.Time { return t.t.C }
+func (t realTicker) Stop()               { t.t.Stop() }
+
+// VirtualClock is a manually advanced clock. Time moves only through
+// Advance, which fires every ticker whose next tick falls within the step —
+// a test controls exactly when interval work happens and never sleeps.
+type VirtualClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	tickers []*virtualTicker
+}
+
+// NewVirtualClock starts a virtual clock at the given instant.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now returns the current virtual instant.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Since reports the virtual time elapsed since t.
+func (c *VirtualClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+// NewTicker registers a ticker with the given period.
+func (c *VirtualClock) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &virtualTicker{clock: c, period: d, next: c.now.Add(d), ch: make(chan time.Time, 1)}
+	c.tickers = append(c.tickers, t)
+	return t
+}
+
+// Advance moves the clock forward by d, delivering due ticks in timestamp
+// order. Tick delivery is non-blocking (like time.Ticker, a slow receiver
+// coalesces ticks); Advance returns once the clock has moved, not once
+// receivers have acted — callers observe effects, not deliveries.
+func (c *VirtualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	for {
+		// Find the earliest pending tick within the step.
+		var due *virtualTicker
+		for _, t := range c.tickers {
+			if t.stopped || t.next.After(target) {
+				continue
+			}
+			if due == nil || t.next.Before(due.next) {
+				due = t
+			}
+		}
+		if due == nil {
+			break
+		}
+		c.now = due.next
+		due.next = due.next.Add(due.period)
+		select {
+		case due.ch <- c.now:
+		default:
+		}
+	}
+	c.now = target
+	c.mu.Unlock()
+}
+
+type virtualTicker struct {
+	clock   *VirtualClock
+	period  time.Duration
+	next    time.Time
+	ch      chan time.Time
+	stopped bool
+}
+
+func (t *virtualTicker) C() <-chan time.Time { return t.ch }
+
+func (t *virtualTicker) Stop() {
+	t.clock.mu.Lock()
+	t.stopped = true
+	// Drop the ticker from the registry so long-lived clocks don't leak.
+	ts := t.clock.tickers
+	for j, other := range ts {
+		if other == t {
+			t.clock.tickers = append(ts[:j], ts[j+1:]...)
+			break
+		}
+	}
+	t.clock.mu.Unlock()
+}

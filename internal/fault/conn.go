@@ -1,0 +1,99 @@
+package fault
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"itscs/internal/stat"
+)
+
+// ConnPlan parameterizes a flaky connection. The zero value is a clean
+// pass-through.
+type ConnPlan struct {
+	// Seed drives the probabilistic decisions.
+	Seed int64
+	// CutAfterBytes closes the connection once this many bytes have been
+	// written through it — a mid-frame cut when it lands inside a report
+	// line. Zero disables.
+	CutAfterBytes int64
+	// PDropWrite is the probability a write is silently swallowed: the
+	// caller sees success, the peer sees a hole in the stream (the torn
+	// upload a dying radio link produces).
+	PDropWrite float64
+	// StallEvery inserts Stall before every Nth write, modeling a client
+	// that freezes mid-stream (the idle-timeout trigger). Zero disables.
+	StallEvery int
+	Stall      time.Duration
+}
+
+// FlakyConn wraps a net.Conn with seeded stalls, mid-frame cuts, and
+// dropped writes. Reads pass through untouched: the faults model the
+// participant's uplink, which is where mobile crowdsensing loses data.
+type FlakyConn struct {
+	net.Conn
+
+	mu      sync.Mutex
+	plan    ConnPlan
+	rng     *stat.RNG
+	written int64
+	writes  int
+	cut     bool
+	drops   int
+}
+
+// WrapConn applies the plan to a connection.
+func WrapConn(c net.Conn, plan ConnPlan) *FlakyConn {
+	return &FlakyConn{Conn: c, plan: plan, rng: stat.NewRNG(plan.Seed).Child("conn")}
+}
+
+// Write applies the fault schedule, then forwards whatever survives.
+func (c *FlakyConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.writes++
+	stall := c.plan.StallEvery > 0 && c.writes%c.plan.StallEvery == 0
+	drop := c.plan.PDropWrite > 0 && c.rng.Bool(c.plan.PDropWrite)
+	var cutAt int64 = -1
+	if c.plan.CutAfterBytes > 0 && !c.cut && c.written+int64(len(p)) > c.plan.CutAfterBytes {
+		cutAt = c.plan.CutAfterBytes - c.written
+		c.cut = true
+	}
+	c.written += int64(len(p))
+	if drop {
+		c.drops++
+	}
+	c.mu.Unlock()
+
+	if stall && c.plan.Stall > 0 {
+		time.Sleep(c.plan.Stall)
+	}
+	if cutAt >= 0 {
+		// Deliver the bytes up to the cut, then sever the transport: the
+		// peer sees a partial frame followed by EOF.
+		n := 0
+		if cutAt > 0 {
+			n, _ = c.Conn.Write(p[:cutAt])
+		}
+		_ = c.Conn.Close()
+		return n, fmt.Errorf("%w: connection cut after %d bytes", ErrInjected, c.plan.CutAfterBytes)
+	}
+	if drop {
+		return len(p), nil // swallowed: caller believes it was sent
+	}
+	return c.Conn.Write(p)
+}
+
+// Drops reports how many writes were silently swallowed.
+func (c *FlakyConn) Drops() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.drops
+}
+
+// Cut reports whether the connection has been severed by the plan.
+func (c *FlakyConn) Cut() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cut
+}

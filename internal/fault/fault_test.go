@@ -1,0 +1,207 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestInjectorDeterminism pins the harness's core contract: the same plan
+// replayed over the same operation sequence injects the same faults at the
+// same positions.
+func TestInjectorDeterminism(t *testing.T) {
+	plan := Plan{Seed: 42, PWriteErr: 0.3, PSyncErr: 0.2, PTornWrite: 0.5}
+	runOnce := func() []Record {
+		in := NewInjector(plan)
+		for i := 0; i < 200; i++ {
+			op := OpWrite
+			if i%3 == 0 {
+				op = OpSync
+			}
+			_, _ = in.decide(op, "seg", 64)
+		}
+		return in.Faults()
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) == 0 {
+		t.Fatal("plan injected no faults in 200 operations")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("fault counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestInjectorAfterAndCap checks the warm-up window and the fault budget.
+func TestInjectorAfterAndCap(t *testing.T) {
+	in := NewInjector(Plan{Seed: 7, PWriteErr: 1, After: 10, MaxFaults: 3})
+	clean := 0
+	for i := 0; i < 10; i++ {
+		if err, _ := in.decide(OpWrite, "x", 8); err == nil {
+			clean++
+		}
+	}
+	if clean != 10 {
+		t.Fatalf("faults injected inside the After window: %d clean of 10", clean)
+	}
+	faults := 0
+	for i := 0; i < 20; i++ {
+		if err, _ := in.decide(OpWrite, "x", 8); err != nil {
+			faults++
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error not marked: %v", err)
+			}
+		}
+	}
+	if faults != 3 {
+		t.Fatalf("MaxFaults=3 but %d faults injected", faults)
+	}
+}
+
+// TestInjectFSTornWrite checks a torn write persists a strict prefix and
+// that a zero-probability plan is a pass-through.
+func TestInjectFSTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Plan{Seed: 3, PWriteErr: 1, PTornWrite: 1})
+	fsys := Inject(OS(), in)
+	f, err := fsys.OpenFile(filepath.Join(dir, "seg"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 100)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	n, err := f.Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write survived a PWriteErr=1 plan: n=%d err=%v", n, err)
+	}
+	if n < 0 || n >= len(payload) {
+		t.Fatalf("torn write persisted %d of %d bytes, want a strict prefix", n, len(payload))
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("on-disk %d bytes, write reported %d", len(got), n)
+	}
+
+	// Pass-through: the zero plan never interferes.
+	clean := Inject(OS(), NewInjector(Plan{}))
+	g, err := clean.OpenFile(filepath.Join(dir, "ok"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := g.Write(payload); err != nil || n != len(payload) {
+		t.Fatalf("clean write: n=%d err=%v", n, err)
+	}
+	if err := g.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVirtualClock drives tickers without sleeping: ticks fire exactly when
+// Advance crosses their schedule, and Stop unregisters.
+func TestVirtualClock(t *testing.T) {
+	start := time.Unix(1000, 0)
+	clock := NewVirtualClock(start)
+	if got := clock.Now(); !got.Equal(start) {
+		t.Fatalf("Now = %v, want %v", got, start)
+	}
+	tick := clock.NewTicker(10 * time.Second)
+
+	clock.Advance(9 * time.Second)
+	select {
+	case ts := <-tick.C():
+		t.Fatalf("tick at %v before the period elapsed", ts)
+	default:
+	}
+
+	clock.Advance(2 * time.Second) // crosses t+10s
+	select {
+	case ts := <-tick.C():
+		if want := start.Add(10 * time.Second); !ts.Equal(want) {
+			t.Fatalf("tick at %v, want %v", ts, want)
+		}
+	default:
+		t.Fatal("no tick after crossing the period")
+	}
+
+	// A long advance coalesces ticks rather than queueing them (channel
+	// capacity 1, like time.Ticker).
+	clock.Advance(55 * time.Second)
+	<-tick.C()
+	select {
+	case <-tick.C():
+		t.Fatal("coalesced ticks queued more than one delivery")
+	default:
+	}
+
+	tick.Stop()
+	clock.Advance(time.Minute)
+	select {
+	case <-tick.C():
+		t.Fatal("stopped ticker fired")
+	default:
+	}
+
+	if got, want := clock.Since(start), 9*time.Second+2*time.Second+55*time.Second+time.Minute; got != want {
+		t.Fatalf("Since = %v, want %v", got, want)
+	}
+}
+
+// TestFlakyConnCutAndDrop exercises the mid-frame cut and silent drop over
+// a real pipe.
+func TestFlakyConnCutAndDrop(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	fc := WrapConn(client, ConnPlan{Seed: 1, CutAfterBytes: 10})
+
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 64)
+		n, _ := server.Read(buf)
+		got <- buf[:n]
+	}()
+	n, err := fc.Write([]byte("0123456789abcdef"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write past the cut: n=%d err=%v", n, err)
+	}
+	if n != 10 {
+		t.Fatalf("delivered %d bytes before the cut, want 10", n)
+	}
+	if !fc.Cut() {
+		t.Fatal("connection not marked cut")
+	}
+	if b := <-got; string(b) != "0123456789" {
+		t.Fatalf("peer saw %q, want the 10-byte prefix", b)
+	}
+	if _, err := fc.Conn.Write([]byte("x")); err == nil {
+		t.Fatal("underlying conn still writable after the cut")
+	}
+
+	// Dropped writes report success but deliver nothing.
+	c2, s2 := net.Pipe()
+	defer s2.Close()
+	drop := WrapConn(c2, ConnPlan{Seed: 1, PDropWrite: 1})
+	if n, err := drop.Write([]byte("lost")); err != nil || n != 4 {
+		t.Fatalf("dropped write: n=%d err=%v, want silent success", n, err)
+	}
+	if drop.Drops() != 1 {
+		t.Fatalf("drops = %d, want 1", drop.Drops())
+	}
+}

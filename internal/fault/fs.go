@@ -1,0 +1,148 @@
+package fault
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the filesystem seam the durability layer writes through. It mirrors
+// the handful of os functions the WAL and checkpoint code use; *os.File
+// satisfies File directly, so the OS implementation is a thin veneer.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Open(name string) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	Stat(name string) (os.FileInfo, error)
+	ReadDir(name string) ([]os.DirEntry, error)
+}
+
+// File is the open-file seam: the subset of *os.File the durability layer
+// touches.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Name() string
+	Stat() (os.FileInfo, error)
+	Sync() error
+}
+
+// OS returns the pass-through filesystem, the production default.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Open(name string) (File, error)               { return os.Open(name) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+// Inject wraps base so every mutating operation consults the injector.
+// Reads are never failed: the harness models a machine that loses writes,
+// not one that corrupts reads (corruption is exercised separately by
+// flipping bytes on disk between lives).
+func Inject(base FS, in *Injector) FS { return &injectFS{base: base, in: in} }
+
+type injectFS struct {
+	base FS
+	in   *Injector
+}
+
+func (f *injectFS) MkdirAll(path string, perm os.FileMode) error { return f.base.MkdirAll(path, perm) }
+func (f *injectFS) Stat(name string) (os.FileInfo, error)        { return f.base.Stat(name) }
+func (f *injectFS) ReadDir(name string) ([]os.DirEntry, error)   { return f.base.ReadDir(name) }
+
+func (f *injectFS) Rename(oldpath, newpath string) error {
+	if err, _ := f.in.decide(OpRename, newpath, 0); err != nil {
+		return err
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *injectFS) Remove(name string) error {
+	if err, _ := f.in.decide(OpRemove, name, 0); err != nil {
+		return err
+	}
+	return f.base.Remove(name)
+}
+
+func (f *injectFS) Truncate(name string, size int64) error {
+	if err, _ := f.in.decide(OpTruncate, name, 0); err != nil {
+		return err
+	}
+	return f.base.Truncate(name, size)
+}
+
+func (f *injectFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if flag&(os.O_WRONLY|os.O_RDWR|os.O_CREATE) != 0 {
+		if err, _ := f.in.decide(OpOpen, name, 0); err != nil {
+			return nil, err
+		}
+	}
+	file, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{File: file, in: f.in}, nil
+}
+
+func (f *injectFS) Open(name string) (File, error) {
+	file, err := f.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	// Read-only handles skip injection but stay wrapped for symmetry.
+	return file, nil
+}
+
+func (f *injectFS) CreateTemp(dir, pattern string) (File, error) {
+	if err, _ := f.in.decide(OpCreate, dir, 0); err != nil {
+		return nil, err
+	}
+	file, err := f.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{File: file, in: f.in}, nil
+}
+
+// injectFile intercepts the mutating half of a writable handle.
+type injectFile struct {
+	File
+	in *Injector
+}
+
+func (f *injectFile) Write(p []byte) (int, error) {
+	err, keep := f.in.decide(OpWrite, f.Name(), len(p))
+	if err != nil {
+		// A torn write persists a seeded prefix before failing — the
+		// on-disk state a crash mid-write leaves behind.
+		if keep > 0 {
+			if n, werr := f.File.Write(p[:keep]); werr != nil {
+				return n, werr
+			}
+		}
+		return keep, err
+	}
+	return f.File.Write(p)
+}
+
+func (f *injectFile) Sync() error {
+	if err, _ := f.in.decide(OpSync, f.Name(), 0); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}

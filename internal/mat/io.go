@@ -120,16 +120,18 @@ func ReadBinary(r io.Reader) (*Dense, error) {
 	if rows > maxBinaryDim || cols > maxBinaryDim {
 		return nil, fmt.Errorf("read binary: implausible shape %dx%d", rows, cols)
 	}
-	m := New(rows, cols)
+	// Grow storage row by row rather than trusting the header with one big
+	// up-front allocation: a corrupted header can claim a petabyte-scale
+	// shape, and the bytes behind it are the only credible witness.
+	data := make([]float64, 0, min(rows*cols, 1<<16))
 	buf := make([]byte, 8*cols)
 	for i := 0; i < rows; i++ {
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return nil, fmt.Errorf("read binary row %d: %w", i, err)
 		}
-		row := m.data[i*cols : (i+1)*cols]
-		for j := range row {
-			row[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+		for j := 0; j < cols; j++ {
+			data = append(data, math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:])))
 		}
 	}
-	return m, nil
+	return &Dense{rows: rows, cols: cols, data: data}, nil
 }

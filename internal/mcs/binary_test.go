@@ -47,7 +47,7 @@ func TestDecodeBinaryMalformed(t *testing.T) {
 		"truncated fleet":   {0x05, 'c', 'a'},
 		"truncated values":  good[:len(good)-5],
 		"oversized participant": append(
-			[]byte{0x00}, // empty fleet
+			[]byte{0x00},                                               // empty fleet
 			0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01, // > MaxInt32
 		),
 	}

@@ -146,6 +146,20 @@ func (s *Server) untrack(conn net.Conn) {
 	_ = conn.Close()
 }
 
+// ServeConn runs the report-stream protocol over a single caller-supplied
+// connection, blocking until the peer disconnects or stalls past
+// IdleTimeout. It is the seam the fault-injection harness uses to drive a
+// handler over an in-memory or flaky transport without a listener; Serve
+// uses the same code path for accepted TCP connections.
+func (s *Server) ServeConn(conn net.Conn) {
+	if !s.track(conn) {
+		_ = conn.Close()
+		return
+	}
+	defer s.untrack(conn)
+	s.handle(conn)
+}
+
 // handle processes one connection's report stream.
 func (s *Server) handle(conn net.Conn) {
 	sc := bufio.NewScanner(conn)

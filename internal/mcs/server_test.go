@@ -170,12 +170,17 @@ func TestServerCloseIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv := NewServer(c)
-	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve() }()
-	time.Sleep(10 * time.Millisecond)
+	// Prove the accept loop is live with a real round-trip instead of
+	// sleeping: an acknowledged upload means a handler ran.
+	if _, err := SendReports(context.Background(), addr.String(), []Report{{Participant: 0, Slot: 0}}); err != nil {
+		t.Fatal(err)
+	}
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}

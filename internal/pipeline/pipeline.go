@@ -29,6 +29,7 @@ import (
 
 	"itscs/internal/core"
 	"itscs/internal/csrecon"
+	"itscs/internal/fault"
 	"itscs/internal/mat"
 	"itscs/internal/mcs"
 	"itscs/internal/obs"
@@ -118,6 +119,10 @@ type Config struct {
 	// TraceDepth bounds the per-fleet ring of recent window trace spans
 	// served by Trace (default 64; negative retains none).
 	TraceDepth int
+	// Clock supplies the timestamps behind queue-wait and run-duration
+	// accounting (default the wall clock). The fault harness swaps in a
+	// virtual clock so timing-sensitive tests need never sleep.
+	Clock fault.Clock
 	// Core configures the per-window DETECT→CORRECT→CHECK loop.
 	Core core.Config
 }
@@ -134,6 +139,15 @@ func DefaultConfig() Config {
 		MaxFleets:    64,
 		Core:         core.DefaultConfig(),
 	}
+}
+
+// clock returns the configured clock, defaulting to the wall clock so code
+// paths reached without New's defaulting (shard-level tests) stay safe.
+func (c Config) clock() fault.Clock {
+	if c.Clock == nil {
+		return fault.RealClock()
+	}
+	return c.Clock
 }
 
 // Validate reports configuration errors.
@@ -275,6 +289,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.TraceDepth == 0 {
 		cfg.TraceDepth = 64
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = fault.RealClock()
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -849,7 +866,7 @@ func (sh *shard) closeWindow(cfg Config) (job, bool) {
 		start:    sh.start,
 		observed: observed,
 		in:       in,
-		enqueued: time.Now(),
+		enqueued: cfg.clock().Now(),
 	}
 	sh.zeroCols(sh.start, h, capSlots)
 	sh.start += h
@@ -885,14 +902,14 @@ func (e *Engine) worker() {
 // process runs the detection loop on one window, updates the fleet's warm
 // state and latest result, and publishes to subscribers.
 func (e *Engine) process(j job) {
-	e.hist.wait.Observe(time.Since(j.enqueued))
+	e.hist.wait.Observe(e.cfg.Clock.Since(j.enqueued))
 	var warm *core.WarmState
 	if !e.cfg.DisableWarmStart {
 		j.sh.mu.Lock()
 		warm = j.sh.warm
 		j.sh.mu.Unlock()
 	}
-	began := time.Now()
+	began := e.cfg.Clock.Now()
 	out, err := core.RunWarm(e.cfg.Core, j.in, warm)
 	if err != nil {
 		// A window the core refuses (it validated shapes we built, so this
@@ -904,7 +921,7 @@ func (e *Engine) process(j job) {
 		}
 		return
 	}
-	runDur := time.Since(began)
+	runDur := e.cfg.Clock.Since(began)
 	e.hist.run.Observe(runDur)
 	e.hist.detect.Observe(out.DetectDuration)
 	e.hist.correct.Observe(out.CorrectDuration)
@@ -949,7 +966,7 @@ func (e *Engine) process(j job) {
 		CorrectMS:   float64(out.CorrectDuration) / 1e6,
 		CheckMS:     float64(out.CheckDuration) / 1e6,
 		RunMS:       res.RunMS,
-		CompletedAt: time.Now(),
+		CompletedAt: e.cfg.Clock.Now(),
 	}
 	j.sh.spans.Add(span)
 	if e.cfg.Obs != nil {

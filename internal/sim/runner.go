@@ -1,0 +1,290 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"itscs/internal/corrupt"
+	"itscs/internal/fault"
+	"itscs/internal/mcs"
+	"itscs/internal/pipeline"
+	"itscs/internal/wal"
+)
+
+// runner owns the stormy half of a scenario: one engine "life" at a time,
+// crashed and recovered on schedule and on injected WAL failures. All fault
+// decisions flow through the single run goroutine, which is what keeps the
+// injector's operation order — and so the whole storm — deterministic.
+type runner struct {
+	sc      Scenario
+	dir     string
+	reports []mcs.Report
+	truth   *corrupt.Result
+
+	in     *fault.Injector
+	fsys   fault.FS
+	walOpt wal.Options
+
+	log     *wal.Log
+	engine  *pipeline.Engine
+	results <-chan *pipeline.WindowResult
+	cancel  func()
+
+	recovered map[int]WindowOutcome
+	collected int    // results received this life
+	attempts  uint64 // ingest+replay calls this life
+	lastCkpt  uint64 // WindowsClosed at the last checkpoint, this life
+
+	acked    uint64 // cumulative successful WAL appends (ack semantics)
+	lives    int
+	crashes  int
+	ckptErrs int
+
+	finalEngine pipeline.Stats
+	finalWAL    wal.Stats
+
+	violations []string
+}
+
+// run drives the whole storm: open a life, stream with retries, crash on
+// schedule and on injected append failures, and close gracefully.
+func (r *runner) run() error {
+	if err := r.openLife(); err != nil {
+		return err
+	}
+	crashAt := map[int]bool{}
+	for _, i := range r.sc.CrashAt {
+		if i >= 0 && i < len(r.reports) {
+			crashAt[i] = true
+		}
+	}
+	for i, rep := range r.reports {
+		if crashAt[i] {
+			if err := r.crash(); err != nil {
+				return err
+			}
+		}
+		for {
+			r.attempts++
+			err := r.engine.Ingest(rep)
+			if err == nil || errors.Is(err, pipeline.ErrLateReport) || errors.Is(err, mcs.ErrDuplicateReport) {
+				// Late and duplicate rejections happen after the WAL append,
+				// so all three are acknowledgements: the report is durable
+				// (or already reflected in the stream).
+				r.acked++
+				break
+			}
+			if errors.Is(err, fault.ErrInjected) {
+				// The log refused the write. A production daemon dies on a
+				// failing WAL disk; the participant retries after recovery.
+				if err := r.crash(); err != nil {
+					return err
+				}
+				continue
+			}
+			return fmt.Errorf("ingest report %d: %w", i, err)
+		}
+		if err := r.maybeCheckpoint(); err != nil {
+			return err
+		}
+	}
+	r.engine.Close()
+	if err := r.drainClosed(); err != nil {
+		return err
+	}
+	r.checkLife("final close")
+	r.finalEngine = r.engine.Stats()
+	if err := r.log.Close(); err != nil && !errors.Is(err, fault.ErrInjected) {
+		return fmt.Errorf("close wal: %w", err)
+	}
+	r.finalWAL = r.log.Stats()
+	return nil
+}
+
+// openLife opens (or reopens) the log, rebuilds the engine from the newest
+// checkpoint plus a log-tail replay, and checks the no-acked-loss
+// invariant. Injected faults during the reopen are the storm continuing
+// through the reboot; the machine just boots again.
+func (r *runner) openLife() error {
+	var log *wal.Log
+	var err error
+	for attempt := 0; ; attempt++ {
+		log, err = wal.Open(r.dir, r.walOpt)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, fault.ErrInjected) || attempt >= 100 {
+			return fmt.Errorf("reopen wal (life %d): %w", r.lives+1, err)
+		}
+	}
+	r.lives++
+	if got := log.AppendedIndex(); got < r.acked {
+		r.violations = append(r.violations, fmt.Sprintf(
+			"life %d: acked-report loss: log holds %d records, %d were acked", r.lives, got, r.acked))
+	}
+	engine, err := pipeline.New(engineConfig(r.sc, log))
+	if err != nil {
+		log.Close()
+		return err
+	}
+	from := uint64(0)
+	ck, _, err := wal.LatestCheckpointFS(r.fsys, r.dir)
+	switch {
+	case err == nil:
+		if rerr := engine.Restore(ck); rerr != nil {
+			engine.Abort()
+			log.Close()
+			return fmt.Errorf("restore checkpoint (life %d): %w", r.lives, rerr)
+		}
+		from = ck.LogIndex
+	case errors.Is(err, wal.ErrNoCheckpoint):
+		// Cold start: replay the whole log.
+	default:
+		engine.Abort()
+		log.Close()
+		return fmt.Errorf("latest checkpoint (life %d): %w", r.lives, err)
+	}
+	if _, err := log.Replay(from, func(_ uint64, rep mcs.Report) error {
+		r.attempts++
+		// Duplicate and late rejections are expected: records below the
+		// checkpoint's horizon replay as no-ops.
+		_ = engine.Replay(rep)
+		return nil
+	}); err != nil {
+		engine.Abort()
+		log.Close()
+		return fmt.Errorf("replay log (life %d): %w", r.lives, err)
+	}
+	r.log, r.engine = log, engine
+	r.results, r.cancel = engine.Subscribe(256)
+	r.collected = 0
+	r.lastCkpt = engine.Stats().WindowsClosed
+	return nil
+}
+
+// crash kills the current life the way SIGKILL would — no flush, queued
+// windows discarded — and boots the next one from disk.
+func (r *runner) crash() error {
+	r.crashes++
+	r.engine.Abort()
+	if err := r.drainClosed(); err != nil {
+		return err
+	}
+	r.checkLife(fmt.Sprintf("crash %d", r.crashes))
+	_ = r.log.Close() // a failing final fsync is part of the crash
+	return r.openLife()
+}
+
+// maybeCheckpoint writes a checkpoint when enough windows have closed. The
+// dispatch queue is drained first so the newest warm factors are always in
+// the snapshot; injected persistence failures are absorbed and counted, as
+// the daemon absorbs them.
+func (r *runner) maybeCheckpoint() error {
+	st := r.engine.Stats()
+	if st.WindowsClosed-r.lastCkpt < r.sc.CheckpointEvery {
+		return nil
+	}
+	if err := r.waitFor(int(st.WindowsClosed - st.WindowsEmpty)); err != nil {
+		return err
+	}
+	ck, err := r.engine.Checkpoint()
+	if err != nil {
+		if errors.Is(err, fault.ErrInjected) {
+			r.ckptErrs++
+			return nil
+		}
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := wal.WriteCheckpointFS(r.fsys, r.dir, ck); err != nil {
+		if errors.Is(err, fault.ErrInjected) {
+			r.ckptErrs++
+			return nil
+		}
+		return fmt.Errorf("write checkpoint: %w", err)
+	}
+	if _, err := wal.PruneCheckpointsFS(r.fsys, r.dir, 2); err != nil {
+		if !errors.Is(err, fault.ErrInjected) {
+			return fmt.Errorf("prune checkpoints: %w", err)
+		}
+		r.ckptErrs++
+	}
+	if _, err := r.log.Compact(ck.LogIndex); err != nil {
+		if !errors.Is(err, fault.ErrInjected) {
+			return fmt.Errorf("compact: %w", err)
+		}
+		r.ckptErrs++
+	}
+	r.lastCkpt = st.WindowsClosed
+	return nil
+}
+
+// waitFor blocks until `expected` results have been received this life.
+func (r *runner) waitFor(expected int) error {
+	deadline := time.After(r.sc.Timeout)
+	for r.collected < expected {
+		select {
+		case res, ok := <-r.results:
+			if !ok {
+				return fmt.Errorf("result stream closed with %d of %d windows", r.collected, expected)
+			}
+			if err := r.take(res); err != nil {
+				return err
+			}
+		case <-deadline:
+			return fmt.Errorf("timed out waiting for window %d of %d", r.collected+1, expected)
+		}
+	}
+	return nil
+}
+
+// drainClosed collects every result still buffered after the engine has
+// shut down and its subscription channel closed.
+func (r *runner) drainClosed() error {
+	deadline := time.After(r.sc.Timeout)
+	for {
+		select {
+		case res, ok := <-r.results:
+			if !ok {
+				return nil
+			}
+			if err := r.take(res); err != nil {
+				return err
+			}
+		case <-deadline:
+			return errors.New("timed out draining results")
+		}
+	}
+}
+
+// take scores one window and records it. A window re-processed after a
+// crash overwrites its first outcome; determinism makes them identical,
+// and verifyWindows compares the survivor against the golden run.
+func (r *runner) take(res *pipeline.WindowResult) error {
+	out, err := outcome(res, r.truth)
+	if err != nil {
+		return err
+	}
+	r.recovered[out.Seq] = out
+	r.collected++
+	return nil
+}
+
+// checkLife asserts the metrics-conservation invariants on the life that
+// just ended: every ingest attempt landed in exactly one of
+// ingested/rejected, and every closed window in exactly one terminal state.
+func (r *runner) checkLife(stage string) {
+	st := r.engine.Stats()
+	if st.Ingested+st.Rejected != r.attempts {
+		r.violations = append(r.violations, fmt.Sprintf(
+			"%s (life %d): ingested %d + rejected %d != %d attempts",
+			stage, r.lives, st.Ingested, st.Rejected, r.attempts))
+	}
+	if st.WindowsClosed != st.WindowsEmpty+st.WindowsDropped+st.WindowsProcessed+st.WindowsFailed {
+		r.violations = append(r.violations, fmt.Sprintf(
+			"%s (life %d): windows closed %d != empty %d + dropped %d + processed %d + failed %d",
+			stage, r.lives, st.WindowsClosed, st.WindowsEmpty, st.WindowsDropped,
+			st.WindowsProcessed, st.WindowsFailed))
+	}
+	r.attempts = 0
+}

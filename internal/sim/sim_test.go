@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"flag"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"itscs/internal/fault"
+)
+
+// The suite is steerable from the command line without recompiling:
+//
+//	go test ./internal/sim -args -seed=42 -scenarios=torn-writes -chaos-seeds=10
+var (
+	baseSeed   = flag.Int64("seed", 1, "base seed for the scenario suite")
+	scenarios  = flag.String("scenarios", "", "comma-separated scenario names to run (default all)")
+	chaosSeeds = flag.Int("chaos-seeds", 3, "number of seeds for TestChaos")
+)
+
+// normalize strips the run directory from fault records so two runs of the
+// same scenario in different temp dirs compare equal.
+func normalize(recs []fault.Record) []fault.Record {
+	out := make([]fault.Record, len(recs))
+	for i, r := range recs {
+		r.Name = filepath.Base(r.Name)
+		out[i] = r
+	}
+	return out
+}
+
+func selected(name string) bool {
+	if *scenarios == "" {
+		return true
+	}
+	for _, want := range strings.Split(*scenarios, ",") {
+		if strings.TrimSpace(want) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestScenarios runs the standing chaos suite at the base seed. Run itself
+// checks every invariant — no acked loss, metrics conservation, per-window
+// F1/flag equality with the golden run — so a nil error is the assertion.
+func TestScenarios(t *testing.T) {
+	for _, sc := range DefaultScenarios(*baseSeed) {
+		if !selected(sc.Name) {
+			continue
+		}
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			res, err := Run(t.TempDir(), sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sc.CrashAt) > 0 && res.Crashes < len(sc.CrashAt) {
+				t.Errorf("crashed %d times, scheduled %d", res.Crashes, len(sc.CrashAt))
+			}
+			if res.Lives != res.Crashes+1 {
+				t.Errorf("%d lives after %d crashes", res.Lives, res.Crashes)
+			}
+			if res.Acked != uint64(res.Engine.Ingested+res.Engine.Rejected) && res.Crashes == 0 {
+				t.Errorf("acked %d but final life saw %d attempts",
+					res.Acked, res.Engine.Ingested+res.Engine.Rejected)
+			}
+			t.Logf("%s: %d lives, %d crashes, %d faults injected, %d checkpoint errors, %d windows",
+				sc.Name, res.Lives, res.Crashes, len(res.Faults), res.CheckpointErrs, len(res.Recovered))
+		})
+	}
+}
+
+// TestDeterminism replays the stormiest scenario twice and demands the runs
+// match bit for bit: same injected faults in the same order, same crash
+// count, same acks, and identical per-window outcomes. This is the
+// reproduce-from-one-integer guarantee the chaos suite rests on.
+func TestDeterminism(t *testing.T) {
+	var sc Scenario
+	for _, c := range DefaultScenarios(*baseSeed) {
+		if c.Name == "mixed-weather" {
+			sc = c
+		}
+	}
+	if sc.Name == "" {
+		t.Fatal("mixed-weather scenario missing from DefaultScenarios")
+	}
+	a, err := Run(t.TempDir(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(t.TempDir(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa, fb := normalize(a.Faults), normalize(b.Faults); !reflect.DeepEqual(fa, fb) {
+		t.Errorf("fault sequences diverge:\n  run A: %v\n  run B: %v", fa, fb)
+	}
+	if a.Lives != b.Lives || a.Crashes != b.Crashes || a.Acked != b.Acked {
+		t.Errorf("lifecycle diverges: lives %d/%d, crashes %d/%d, acked %d/%d",
+			a.Lives, b.Lives, a.Crashes, b.Crashes, a.Acked, b.Acked)
+	}
+	if !reflect.DeepEqual(a.Recovered, b.Recovered) {
+		t.Error("recovered window outcomes diverge between identical runs")
+	}
+	if a.CheckpointErrs != b.CheckpointErrs {
+		t.Errorf("checkpoint errors diverge: %d vs %d", a.CheckpointErrs, b.CheckpointErrs)
+	}
+}
+
+// TestFaultFreeBaseline checks the harness itself is honest: with no fault
+// plan and no crashes, the stormy path is just the durable path, and must
+// report one life, no faults, and full golden agreement.
+func TestFaultFreeBaseline(t *testing.T) {
+	res, err := Run(t.TempDir(), Scenario{Name: "baseline", Seed: *baseSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lives != 1 || res.Crashes != 0 || len(res.Faults) != 0 {
+		t.Fatalf("baseline not quiet: %d lives, %d crashes, %d faults",
+			res.Lives, res.Crashes, len(res.Faults))
+	}
+	if len(res.Recovered) == 0 {
+		t.Fatal("baseline produced no windows")
+	}
+}
+
+// TestChaos sweeps seeds: every seed gets the full default suite, and every
+// run must hold every invariant. CI runs this with -chaos-seeds=10; locally
+// the default keeps it quick. -short trims to a single seed.
+func TestChaos(t *testing.T) {
+	seeds := *chaosSeeds
+	if testing.Short() && seeds > 1 {
+		seeds = 1
+	}
+	for s := 0; s < seeds; s++ {
+		seed := *baseSeed + int64(s)*7919 // spread seeds apart; 7919 is just a prime
+		for _, sc := range DefaultScenarios(seed) {
+			if !selected(sc.Name) {
+				continue
+			}
+			sc := sc
+			t.Run(sc.Name+"/seed="+strconv.FormatInt(seed, 10), func(t *testing.T) {
+				if _, err := Run(t.TempDir(), sc); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

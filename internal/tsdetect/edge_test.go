@@ -1,0 +1,187 @@
+package tsdetect
+
+import (
+	"testing"
+
+	"itscs/internal/mat"
+)
+
+// TestDetectWindowEdges sweeps the window-size boundary: degenerate
+// lengths are rejected up front, the minimum legal window works, and a
+// window equal to the full series works.
+func TestDetectWindowEdges(t *testing.T) {
+	const n, slots = 3, 9
+	s := mat.Filled(n, slots, 50)
+	avgV := mat.Filled(n, slots, 1)
+	d := mat.Ones(n, slots)
+	e := mat.Ones(n, slots)
+
+	cases := []struct {
+		name   string
+		window int
+		ok     bool
+	}{
+		{"zero-window", 0, false},
+		{"window-one", 1, false},
+		{"even-window", 4, false},
+		{"negative-window", -3, false},
+		{"minimum-window", 3, true},
+		{"full-series-window", slots, true},
+		{"window-exceeds-series", slots + 2, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := DefaultOptions()
+			opt.Window = tc.window
+			got, err := Detect(s, nil, avgV, d, e, true, opt)
+			if (err == nil) != tc.ok {
+				t.Fatalf("Detect window=%d: err=%v, want ok=%v", tc.window, err, tc.ok)
+			}
+			if !tc.ok {
+				return
+			}
+			// A constant series is as normal as data gets: every
+			// observation must be cleared.
+			for i := 0; i < n; i++ {
+				for j := 0; j < slots; j++ {
+					if got.At(i, j) != 0 {
+						t.Fatalf("constant series left flag at (%d,%d)", i, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDetectDegenerateData drives the detector over pathological rows: all
+// observations faulty, a fully missing row, a single-column matrix, and a
+// single surviving observation per window.
+func TestDetectDegenerateData(t *testing.T) {
+	t.Run("all-faulty-row", func(t *testing.T) {
+		// Wild alternating megameter jumps: the window median always
+		// coincides with its majority sign, so those points clear, but the
+		// minority must stay flagged — the detector cannot wash a row this
+		// broken clean.
+		const slots = 15
+		s := mat.New(1, slots)
+		for j := 0; j < slots; j++ {
+			if j%2 == 0 {
+				s.Set(0, j, 1e6)
+			} else {
+				s.Set(0, j, -1e6)
+			}
+		}
+		got, err := Detect(s, nil, mat.New(1, slots), mat.Ones(1, slots), mat.Ones(1, slots), true, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		flagged := 0
+		for j := 0; j < slots; j++ {
+			if got.At(0, j) == 1 {
+				flagged++
+			}
+		}
+		if flagged < slots/3 {
+			t.Fatalf("only %d of %d wild slots stayed flagged", flagged, slots)
+		}
+	})
+
+	t.Run("fully-missing-row", func(t *testing.T) {
+		// No observation, no verdict: the first pass must leave the
+		// detection row exactly as it found it.
+		const slots = 13
+		s := mat.New(2, slots)
+		e := mat.Ones(2, slots)
+		for j := 0; j < slots; j++ {
+			e.Set(0, j, 0)
+		}
+		d := mat.Ones(2, slots)
+		got, err := Detect(s, nil, mat.New(2, slots), d, e, true, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < slots; j++ {
+			if got.At(0, j) != 1 {
+				t.Fatalf("missing row's flag changed at slot %d", j)
+			}
+			if got.At(1, j) != 0 {
+				t.Fatalf("observed constant row kept flag at slot %d", j)
+			}
+		}
+	})
+
+	t.Run("single-column", func(t *testing.T) {
+		// One slot cannot host the minimum 3-slot window.
+		s := mat.Filled(4, 1, 10)
+		_, err := Detect(s, nil, mat.New(4, 1), mat.Ones(4, 1), mat.Ones(4, 1), true, DefaultOptions())
+		if err == nil {
+			t.Fatal("single-column series must be rejected")
+		}
+	})
+
+	t.Run("lone-observation", func(t *testing.T) {
+		// A window holding exactly one observation compares the point to
+		// itself: |x − median({x})| = 0 < δ, so it clears.
+		const slots = 5
+		s := mat.New(1, slots)
+		e := mat.New(1, slots)
+		s.Set(0, 2, 123456)
+		e.Set(0, 2, 1)
+		opt := DefaultOptions()
+		opt.Window = slots
+		got, err := Detect(s, nil, mat.New(1, slots), mat.Ones(1, slots), e, true, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.At(0, 2) != 0 {
+			t.Fatal("lone observation should test normal against itself")
+		}
+	})
+}
+
+// TestTMMEdges mirrors the boundary sweep for the fixed-threshold baseline.
+func TestTMMEdges(t *testing.T) {
+	const n, slots = 2, 9
+	s := mat.Filled(n, slots, 7)
+	e := mat.Ones(n, slots)
+
+	for _, tc := range []struct {
+		name   string
+		window int
+		thresh float64
+		ok     bool
+	}{
+		{"window-one", 1, 800, false},
+		{"even-window", 6, 800, false},
+		{"zero-threshold", 9, 0, false},
+		{"minimum", 3, 800, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := TMM(s, e, TMMOptions{Window: tc.window, ThresholdMeters: tc.thresh})
+			if (err == nil) != tc.ok {
+				t.Fatalf("TMM window=%d thresh=%v: err=%v, want ok=%v", tc.window, tc.thresh, err, tc.ok)
+			}
+		})
+	}
+
+	t.Run("constant-series-clean", func(t *testing.T) {
+		got, err := TMM(s, e, DefaultTMMOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < slots; j++ {
+				if got.At(i, j) != 0 {
+					t.Fatalf("constant series flagged at (%d,%d)", i, j)
+				}
+			}
+		}
+	})
+}
+
+// TestUnionShapeMismatch rejects incompatible operands.
+func TestUnionShapeMismatch(t *testing.T) {
+	if _, err := Union(mat.New(2, 3), mat.New(3, 2)); err == nil {
+		t.Fatal("union of mismatched shapes must fail")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 
+	"itscs/internal/fault"
 	"itscs/internal/mat"
 )
 
@@ -86,14 +87,20 @@ func CheckpointPath(dir string, logIndex uint64) string {
 
 // WriteCheckpoint atomically persists ck into dir and returns its path.
 func WriteCheckpoint(dir string, ck *Checkpoint) (string, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return WriteCheckpointFS(fault.OS(), dir, ck)
+}
+
+// WriteCheckpointFS is WriteCheckpoint through an explicit filesystem seam,
+// so the fault harness can tear or fail any step of the atomic protocol.
+func WriteCheckpointFS(fsys fault.FS, dir string, ck *Checkpoint) (string, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return "", fmt.Errorf("wal: %w", err)
 	}
-	tmp, err := os.CreateTemp(dir, ".tmp-checkpoint-*")
+	tmp, err := fsys.CreateTemp(dir, ".tmp-checkpoint-*")
 	if err != nil {
 		return "", fmt.Errorf("wal: checkpoint temp: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	defer fsys.Remove(tmp.Name()) // no-op after the rename succeeds
 
 	if err := writeCheckpointTo(tmp, ck); err != nil {
 		tmp.Close()
@@ -107,10 +114,10 @@ func WriteCheckpoint(dir string, ck *Checkpoint) (string, error) {
 		return "", fmt.Errorf("wal: checkpoint close: %w", err)
 	}
 	path := CheckpointPath(dir, ck.LogIndex)
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
 		return "", fmt.Errorf("wal: checkpoint rename: %w", err)
 	}
-	if err := syncDir(dir); err != nil {
+	if err := syncDir(fsys, dir); err != nil {
 		return "", err
 	}
 	return path, nil
@@ -218,12 +225,24 @@ func (c *crcReader) Read(p []byte) (int, error) {
 
 // ReadCheckpoint loads and verifies one checkpoint file.
 func ReadCheckpoint(path string) (*Checkpoint, error) {
-	f, err := os.Open(path)
+	return ReadCheckpointFS(fault.OS(), path)
+}
+
+// ReadCheckpointFS is ReadCheckpoint through an explicit filesystem seam.
+func ReadCheckpointFS(fsys fault.FS, path string) (*Checkpoint, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("wal: checkpoint open: %w", err)
 	}
 	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<16)
+	return readCheckpointFrom(f, path)
+}
+
+// readCheckpointFrom decodes and verifies a checkpoint from a raw byte
+// stream. Factored out of the file path so the fuzz target can feed it
+// arbitrary bytes directly; path is only used in error messages.
+func readCheckpointFrom(r io.Reader, path string) (*Checkpoint, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
 	hdr := make([]byte, len(ckptMagic)+4)
 	if _, err := io.ReadFull(br, hdr); err != nil {
 		return nil, fmt.Errorf("wal: checkpoint header: %w", err)
@@ -235,6 +254,7 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("wal: checkpoint version %d unsupported", v)
 	}
 	cr := &crcReader{r: br, crc: crc32.New(castagnoli)}
+	var err error
 
 	readU64 := func() (uint64, error) {
 		var b [8]byte
@@ -332,8 +352,8 @@ const maxFleetNameLen = 1 << 10
 
 // listCheckpoints returns checkpoint paths sorted newest-first (the name
 // embeds the zero-padded hex log index).
-func listCheckpoints(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
+func listCheckpoints(fsys fault.FS, dir string) ([]string, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil, nil
@@ -354,12 +374,17 @@ func listCheckpoints(dir string) ([]string, error) {
 // LatestCheckpoint loads the newest valid checkpoint in dir, skipping (and
 // counting) corrupt ones. It returns ErrNoCheckpoint when none loads.
 func LatestCheckpoint(dir string) (ck *Checkpoint, skippedCorrupt int, err error) {
-	paths, err := listCheckpoints(dir)
+	return LatestCheckpointFS(fault.OS(), dir)
+}
+
+// LatestCheckpointFS is LatestCheckpoint through an explicit filesystem seam.
+func LatestCheckpointFS(fsys fault.FS, dir string) (ck *Checkpoint, skippedCorrupt int, err error) {
+	paths, err := listCheckpoints(fsys, dir)
 	if err != nil {
 		return nil, 0, err
 	}
 	for _, p := range paths {
-		ck, err := ReadCheckpoint(p)
+		ck, err := ReadCheckpointFS(fsys, p)
 		if err != nil {
 			skippedCorrupt++
 			continue
@@ -374,22 +399,27 @@ func LatestCheckpoint(dir string) (ck *Checkpoint, skippedCorrupt int, err error
 // a newer one exists, but keeping one spare guards against the newest
 // being born corrupt.
 func PruneCheckpoints(dir string, keep int) (int, error) {
+	return PruneCheckpointsFS(fault.OS(), dir, keep)
+}
+
+// PruneCheckpointsFS is PruneCheckpoints through an explicit filesystem seam.
+func PruneCheckpointsFS(fsys fault.FS, dir string, keep int) (int, error) {
 	if keep < 1 {
 		keep = 1
 	}
-	paths, err := listCheckpoints(dir)
+	paths, err := listCheckpoints(fsys, dir)
 	if err != nil {
 		return 0, err
 	}
 	removed := 0
 	for _, p := range paths[minInt(keep, len(paths)):] {
-		if err := os.Remove(p); err != nil {
+		if err := fsys.Remove(p); err != nil {
 			return removed, fmt.Errorf("wal: prune checkpoint: %w", err)
 		}
 		removed++
 	}
 	if removed > 0 {
-		if err := syncDir(dir); err != nil {
+		if err := syncDir(fsys, dir); err != nil {
 			return removed, err
 		}
 	}

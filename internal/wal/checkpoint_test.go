@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"itscs/internal/fault"
 	"itscs/internal/mat"
 )
 
@@ -176,7 +177,7 @@ func TestPruneCheckpoints(t *testing.T) {
 	if err != nil || removed != 2 {
 		t.Fatalf("removed = %d err %v, want 2", removed, err)
 	}
-	paths, err := listCheckpoints(dir)
+	paths, err := listCheckpoints(fault.OS(), dir)
 	if err != nil || len(paths) != 2 {
 		t.Fatalf("paths = %v err %v", paths, err)
 	}

@@ -1,0 +1,51 @@
+package wal
+
+import (
+	"testing"
+	"time"
+
+	"itscs/internal/fault"
+	"itscs/internal/mcs"
+)
+
+// TestSyncIntervalVirtualClock drives the interval-sync committer with a
+// virtual clock: appends alone must not fsync, and one virtual tick must.
+// The test owns time completely — it passes at any real-time speed and
+// never sleeps through a wall-clock flush cadence.
+func TestSyncIntervalVirtualClock(t *testing.T) {
+	vc := fault.NewVirtualClock(time.Unix(0, 0))
+	opt := DefaultOptions()
+	opt.Sync = SyncInterval
+	opt.SyncEvery = time.Hour // far beyond the test's real runtime
+	opt.Clock = vc
+	l, err := Open(t.TempDir(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	base := l.Stats().Fsyncs
+	for i := 0; i < 5; i++ {
+		if err := l.Append(mcs.Report{Fleet: "cab", Participant: i, Slot: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Stats().Fsyncs; got != base {
+		t.Fatalf("interval mode fsynced on append: %d -> %d", base, got)
+	}
+
+	// One virtual hour elapses; the committer's ticker fires and flushes
+	// the dirty log. The bounded wait below is for the committer goroutine
+	// to run, not for time to pass.
+	vc.Advance(time.Hour)
+	deadline := time.Now().Add(10 * time.Second)
+	for l.Stats().Fsyncs == base {
+		if time.Now().After(deadline) {
+			t.Fatal("virtual tick did not trigger an interval fsync")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if l.Stats().Records != 5 {
+		t.Fatalf("records = %d, want 5", l.Stats().Records)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"itscs/internal/fault"
 	"itscs/internal/mcs"
 	"itscs/internal/metrics"
 )
@@ -101,6 +102,12 @@ type Options struct {
 	// tails truncated at open, and damaged regions skipped during replay.
 	// nil keeps the log silent.
 	Logger *slog.Logger
+	// FS is the filesystem seam (default the real OS). The fault-injection
+	// harness swaps in a seeded injector; production never sets it.
+	FS fault.FS
+	// Clock drives the SyncInterval ticker and fsync latency accounting
+	// (default the wall clock).
+	Clock fault.Clock
 }
 
 // DefaultOptions returns the production defaults.
@@ -114,6 +121,12 @@ func (o *Options) fillDefaults() {
 	}
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 8 << 20
+	}
+	if o.FS == nil {
+		o.FS = fault.OS()
+	}
+	if o.Clock == nil {
+		o.Clock = fault.RealClock()
 	}
 }
 
@@ -167,7 +180,7 @@ type Log struct {
 	segs  []segInfo
 
 	// committer-owned state.
-	active    *os.File
+	active    fault.File
 	activeLen int64
 	nextIdx   uint64 // index the next appended record will get
 	dirty     bool   // bytes written since the last fsync
@@ -246,7 +259,7 @@ func (l *Log) Stats() Stats {
 // region inside an earlier segment marks it corrupt without aborting.
 func Open(dir string, opt Options) (*Log, error) {
 	opt.fillDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opt.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	l := &Log{
@@ -258,7 +271,7 @@ func Open(dir string, opt Options) (*Log, error) {
 	if err := l.scan(); err != nil {
 		return nil, err
 	}
-	l.lastSync = time.Now()
+	l.lastSync = opt.Clock.Now()
 	go l.commit()
 	return l, nil
 }
@@ -282,8 +295,8 @@ func (l *Log) segPath(created uint64) string {
 
 // listSegments returns the segment paths in dir, sorted by creation order
 // (the zero-padded hex name).
-func listSegments(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys fault.FS, dir string) ([]string, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -312,7 +325,7 @@ func segCreation(path string) uint64 {
 // header re-anchors the index sequence; the final segment is truncated to
 // its last whole frame (the torn tail a crash mid-write leaves behind).
 func (l *Log) scan() error {
-	paths, err := listSegments(l.dir)
+	paths, err := listSegments(l.opt.FS, l.dir)
 	if err != nil {
 		return err
 	}
@@ -328,12 +341,12 @@ func (l *Log) scan() error {
 	}
 	var infos []scanned
 	for _, p := range paths {
-		first, valid, validEnd, serr := scanSegment(p)
+		first, valid, validEnd, serr := scanSegment(l.opt.FS, p)
 		if first == ^uint64(0) {
 			l.st.corruptSegs.Add(1)
 			l.logger().Warn("wal: quarantining segment with unreadable header",
 				"segment", p, "err", serr)
-			if rerr := os.Rename(p, p+".corrupt"); rerr != nil {
+			if rerr := l.opt.FS.Rename(p, p+".corrupt"); rerr != nil {
 				return fmt.Errorf("wal: quarantine %s: %w", p, rerr)
 			}
 			continue
@@ -354,11 +367,11 @@ func (l *Log) scan() error {
 	last := infos[len(infos)-1]
 	if last.err != nil {
 		var torn int64
-		if fi, statErr := os.Stat(last.path); statErr == nil && fi.Size() > last.validEnd {
+		if fi, statErr := l.opt.FS.Stat(last.path); statErr == nil && fi.Size() > last.validEnd {
 			torn = fi.Size() - last.validEnd
 			l.st.truncatedB.Add(uint64(torn))
 		}
-		if terr := os.Truncate(last.path, last.validEnd); terr != nil {
+		if terr := l.opt.FS.Truncate(last.path, last.validEnd); terr != nil {
 			return fmt.Errorf("wal: truncate torn tail of %s: %w", last.path, terr)
 		}
 		l.logger().Warn("wal: truncated torn tail of final segment",
@@ -370,7 +383,7 @@ func (l *Log) scan() error {
 
 // openActive opens path for appending and seeds the committer state.
 func (l *Log) openActive(path string, nextIdx uint64) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := l.opt.FS.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: open active segment: %w", err)
 	}
@@ -390,7 +403,7 @@ func (l *Log) openActive(path string, nextIdx uint64) error {
 // will carry global index firstIdx, and makes it the active segment.
 func (l *Log) createSegment(created, firstIdx uint64) error {
 	path := l.segPath(created)
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := l.opt.FS.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: create segment: %w", err)
 	}
@@ -406,7 +419,7 @@ func (l *Log) createSegment(created, firstIdx uint64) error {
 		f.Close()
 		return fmt.Errorf("wal: sync segment header: %w", err)
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := syncDir(l.opt.FS, l.dir); err != nil {
 		f.Close()
 		return err
 	}
@@ -424,8 +437,8 @@ func (l *Log) createSegment(created, firstIdx uint64) error {
 // index (^0 if the header itself is unreadable), the count of valid
 // records, the file offset just past the last valid frame, and the error
 // that stopped the scan (nil for a clean segment).
-func scanSegment(path string) (first uint64, valid uint64, validEnd int64, err error) {
-	f, err := os.Open(path)
+func scanSegment(fsys fault.FS, path string) (first uint64, valid uint64, validEnd int64, err error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return ^uint64(0), 0, 0, err
 	}
@@ -534,12 +547,11 @@ func (l *Log) Close() error {
 // one write, applies the fsync policy, and acknowledges every waiter.
 func (l *Log) commit() {
 	defer close(l.done)
-	var ticker *time.Ticker
 	var tick <-chan time.Time
 	if l.opt.Sync == SyncInterval {
-		ticker = time.NewTicker(l.opt.SyncEvery)
+		ticker := l.opt.Clock.NewTicker(l.opt.SyncEvery)
 		defer ticker.Stop()
-		tick = ticker.C
+		tick = ticker.C()
 	}
 	for {
 		select {
@@ -620,7 +632,7 @@ func (l *Log) writeAndSync(buf []byte, records int, forceSync bool) error {
 			return l.fsync()
 		}
 	case l.opt.Sync == SyncInterval:
-		if l.dirty && time.Since(l.lastSync) >= l.opt.SyncEvery {
+		if l.dirty && l.opt.Clock.Since(l.lastSync) >= l.opt.SyncEvery {
 			return l.fsync()
 		}
 	}
@@ -629,14 +641,14 @@ func (l *Log) writeAndSync(buf []byte, records int, forceSync bool) error {
 
 // fsync syncs the active segment and observes the latency.
 func (l *Log) fsync() error {
-	began := time.Now()
+	began := l.opt.Clock.Now()
 	if err := l.active.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	l.st.fsyncs.Add(1)
-	l.st.fsyncLatency.Observe(time.Since(began))
+	l.st.fsyncLatency.Observe(l.opt.Clock.Since(began))
 	l.dirty = false
-	l.lastSync = time.Now()
+	l.lastSync = l.opt.Clock.Now()
 	return nil
 }
 
@@ -670,7 +682,7 @@ func (l *Log) Compact(before uint64) (int, error) {
 	defer l.segMu.Unlock()
 	removed := 0
 	for len(l.segs) >= 2 && l.segs[1].first <= before {
-		if err := os.Remove(l.segs[0].path); err != nil {
+		if err := l.opt.FS.Remove(l.segs[0].path); err != nil {
 			return removed, fmt.Errorf("wal: compact: %w", err)
 		}
 		l.segs = l.segs[1:]
@@ -678,7 +690,7 @@ func (l *Log) Compact(before uint64) (int, error) {
 	}
 	if removed > 0 {
 		l.st.compacted.Add(uint64(removed))
-		if err := syncDir(l.dir); err != nil {
+		if err := syncDir(l.opt.FS, l.dir); err != nil {
 			return removed, err
 		}
 	}
@@ -713,7 +725,7 @@ func (l *Log) Replay(from uint64, fn func(idx uint64, r mcs.Report) error) (repl
 
 // replaySegment scans one segment, invoking fn for records in [from, end).
 func (l *Log) replaySegment(seg segInfo, from, end uint64, fn func(uint64, mcs.Report) error) (uint64, error) {
-	f, err := os.Open(seg.path)
+	f, err := l.opt.FS.Open(seg.path)
 	if err != nil {
 		// The file may have been compacted away between snapshot and open.
 		if errors.Is(err, os.ErrNotExist) {
@@ -796,8 +808,8 @@ func (l *Log) skipDamaged(seg segInfo, idx, end uint64) {
 }
 
 // syncDir fsyncs a directory so renames and removals inside it are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys fault.FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return fmt.Errorf("wal: open dir: %w", err)
 	}

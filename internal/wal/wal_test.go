@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"itscs/internal/fault"
 	"itscs/internal/mcs"
 )
 
@@ -248,7 +249,7 @@ func TestTornTailTruncated(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fault.OS(), dir)
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("segments: %v %v", segs, err)
 	}
@@ -296,7 +297,7 @@ func TestCorruptInteriorSegmentSkippedAndCounted(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fault.OS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,7 +358,7 @@ func TestUnreadableHeaderSegmentQuarantined(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(fault.OS(), dir)
 	if err := os.WriteFile(segs[0], []byte("not a wal segment"), 0o644); err != nil {
 		t.Fatal(err)
 	}
