@@ -1,0 +1,450 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"itscs/internal/cluster"
+	"itscs/internal/cluster/clustertest"
+	"itscs/internal/mcs"
+	"itscs/internal/obs"
+	"itscs/internal/pipeline"
+	"itscs/internal/sim"
+)
+
+// testScenario shapes every fleet stream in these tests; distinct fleets
+// get distinct seeds derived from it.
+func testScenario(seed int64) sim.Scenario {
+	return sim.Scenario{Seed: seed}
+}
+
+func startBackends(t *testing.T, n int) []*clustertest.Backend {
+	t.Helper()
+	backends := make([]*clustertest.Backend, n)
+	for i := range backends {
+		b, err := clustertest.Start(clustertest.Options{Config: sim.EngineConfig(testScenario(1))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends[i] = b
+		t.Cleanup(func() { _ = b.Close() })
+	}
+	return backends
+}
+
+func backendsFlag(backends []*clustertest.Backend) string {
+	parts := make([]string, len(backends))
+	for i, b := range backends {
+		parts[i] = b.IngestAddr() + "=" + b.HTTPAddr()
+	}
+	return strings.Join(parts, ",")
+}
+
+// startRouter boots a router over the backends with fast probes and a
+// change-notification channel, sweeping once so live backends are admitted
+// before the test sends traffic.
+func startRouter(t *testing.T, backends []*clustertest.Backend, interval time.Duration) (*router, chan string) {
+	t.Helper()
+	specs, err := cluster.ParseBackends(backendsFlag(backends))
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := make(chan string, 64)
+	r, err := newRouter(routerOptions{
+		ingestAddr:    "127.0.0.1:0",
+		httpAddr:      "127.0.0.1:0",
+		backends:      specs,
+		vnodes:        64,
+		probeInterval: interval,
+		probeTimeout:  time.Second,
+		clientQueue:   4096,
+		idle:          time.Minute,
+		onChange: func(b cluster.Backend, ready bool) {
+			changes <- fmt.Sprintf("%s=%v", b.Name, ready)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.serve()
+	t.Cleanup(func() { _ = r.close() })
+	waitChange(t, changes, len(backends)) // initial admissions
+	return r, changes
+}
+
+func waitChange(t *testing.T, changes chan string, n int) []string {
+	t.Helper()
+	got := make([]string, 0, n)
+	for len(got) < n {
+		select {
+		case c := <-changes:
+			got = append(got, c)
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out waiting for health changes, have %v", got)
+		}
+	}
+	return got
+}
+
+// TestRouterEndToEnd is the acceptance E2E: several fleet workloads
+// streamed through a router over 3 backends must yield, window for window,
+// flags and F1 bitwise identical to each fleet's single-node golden run.
+func TestRouterEndToEnd(t *testing.T) {
+	backends := startBackends(t, 3)
+	r, _ := startRouter(t, backends, 200*time.Millisecond)
+
+	// Subscribe to every backend engine before any report flows.
+	type sub struct {
+		ch     <-chan *pipeline.WindowResult
+		cancel func()
+	}
+	subs := make([]sub, len(backends))
+	for i, b := range backends {
+		ch, cancel := b.Engine().Subscribe(256)
+		subs[i] = sub{ch, cancel}
+		defer cancel()
+	}
+
+	fleets := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	golden := map[string]map[int]sim.WindowOutcome{}
+	truth := map[string]*sim.FleetWorkload{}
+	owners := map[string]bool{}
+	var all []mcs.Report
+	for i, fleet := range fleets {
+		sc := testScenario(int64(100 + i))
+		w, err := sim.BuildWorkload(fleet, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth[fleet] = w
+		if golden[fleet], err = sim.GoldenRun(w, sc); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, w.Reports...)
+		owner, ok := r.fwd.Owner(fleet)
+		if !ok {
+			t.Fatalf("no owner for %s", fleet)
+		}
+		owners[owner] = true
+	}
+	if len(owners) < 2 {
+		t.Fatalf("all %d fleets landed on one backend; placement is not spreading", len(fleets))
+	}
+
+	// Stream everything through the router's public ingest via the client.
+	cl := mcs.NewClient(r.ingestAddr.String(), mcs.ClientOptions{QueueDepth: len(all)})
+	defer cl.Close()
+	for _, rep := range all {
+		if err := cl.Send(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := cl.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := cl.Stats(); st.Acked != uint64(len(all)) {
+		t.Fatalf("router acked %d of %d reports: %+v", st.Acked, len(all), st)
+	}
+	if err := r.fwd.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain: close each backend gracefully (flushes open partial windows,
+	// exactly as the golden run's engine.Close does) and collect results.
+	got := map[string]map[int]sim.WindowOutcome{}
+	for i, b := range backends {
+		if err := b.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for res := range subs[i].ch {
+			w, ok := truth[res.Fleet]
+			if !ok {
+				t.Fatalf("result for unknown fleet %q", res.Fleet)
+			}
+			out, err := sim.Outcome(res, w.Truth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[res.Fleet] == nil {
+				got[res.Fleet] = map[int]sim.WindowOutcome{}
+			}
+			got[res.Fleet][out.Seq] = out
+		}
+	}
+
+	for _, fleet := range fleets {
+		if violations := sim.VerifyWindows(golden[fleet], got[fleet]); len(violations) > 0 {
+			t.Errorf("fleet %s diverges from single-node run:\n  %s",
+				fleet, strings.Join(violations, "\n  "))
+		}
+	}
+}
+
+// TestRouterEjectsAndReadmits is the failure-path acceptance: killing a
+// backend ejects it within one probe interval, its fleets' new reports are
+// refused and counted (not silently dropped, not remapped), and the
+// backend readmits once its /readyz recovers.
+func TestRouterEjectsAndReadmits(t *testing.T) {
+	const interval = 150 * time.Millisecond
+	backends := startBackends(t, 3)
+	r, changes := startRouter(t, backends, interval)
+
+	// Find one fleet per backend so we can tell victims from survivors.
+	fleetOn := map[string]string{} // backend name -> a fleet it owns
+	for i := 0; len(fleetOn) < len(backends); i++ {
+		fleet := fmt.Sprintf("fleet-%d", i)
+		owner, _ := r.fwd.Owner(fleet)
+		if _, ok := fleetOn[owner]; !ok {
+			fleetOn[owner] = fleet
+		}
+	}
+	victim := backends[0]
+	victimName := victim.Spec().Name
+	victimFleet := fleetOn[victimName]
+	survivorFleet := ""
+	for name, fleet := range fleetOn {
+		if name != victimName {
+			survivorFleet = fleet
+			break
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	send := func(fleet string, slot int) (acked int) {
+		t.Helper()
+		acked, err := mcs.SendReports(ctx, r.ingestAddr.String(), []mcs.Report{
+			{Fleet: fleet, Participant: 0, Slot: slot, X: 1, Y: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return acked
+	}
+	if send(victimFleet, 0) != 1 || send(survivorFleet, 0) != 1 {
+		t.Fatal("healthy cluster refused reports")
+	}
+	if err := r.fwd.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the victim and time the ejection.
+	killed := time.Now()
+	if err := victim.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	ejected := waitChange(t, changes, 1)
+	if elapsed := time.Since(killed); elapsed > interval+time.Second {
+		t.Errorf("ejection took %v, want within one probe interval (%v) plus probe slack", elapsed, interval)
+	}
+	if ejected[0] != victimName+"=false" {
+		t.Fatalf("health change %v, want %s=false", ejected, victimName)
+	}
+
+	// The victim's fleet is refused — an err ack, counted — while the
+	// survivor's flows untouched.
+	before := r.fwd.Stats()
+	if got := send(victimFleet, 1); got != 0 {
+		t.Fatalf("ejected owner's fleet was acked %d, want 0", got)
+	}
+	if got := send(survivorFleet, 1); got != 1 {
+		t.Fatalf("survivor fleet acked %d, want 1", got)
+	}
+	after := r.fwd.Stats()
+	if after.Unroutable != before.Unroutable+1 {
+		t.Fatalf("unroutable went %d -> %d, want +1", before.Unroutable, after.Unroutable)
+	}
+	// Nothing was remapped: the victim's fleet still belongs to the victim.
+	if owner, _ := r.fwd.Owner(victimFleet); owner != victimName {
+		t.Fatalf("fleet %s remapped to %s during the outage", victimFleet, owner)
+	}
+
+	// Router /readyz stays 200 with two backends up.
+	if code := httpGet(t, r.httpBound.String(), "/readyz"); code != 200 {
+		t.Fatalf("router readyz = %d with survivors up", code)
+	}
+
+	// Restart the victim on its old addresses, still recovering: /readyz
+	// 503 keeps it ejected.
+	reborn, err := clustertest.Start(clustertest.Options{
+		Config:       sim.EngineConfig(testScenario(1)),
+		IngestAddr:   victim.IngestAddr(),
+		HTTPAddr:     victim.HTTPAddr(),
+		StartUnready: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = reborn.Close() })
+	time.Sleep(3 * interval) // several sweeps of 503
+	if r.prober.Ready(victimName) {
+		t.Fatal("recovering backend admitted before /readyz turned 200")
+	}
+
+	// Recovery completes: readmitted, and the fleet flows again.
+	reborn.SetReady(true)
+	readmitted := waitChange(t, changes, 1)
+	if readmitted[0] != victimName+"=true" {
+		t.Fatalf("health change %v, want %s=true", readmitted, victimName)
+	}
+	if got := send(victimFleet, 2); got != 1 {
+		t.Fatalf("readmitted owner's fleet acked %d, want 1", got)
+	}
+	if err := r.fwd.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n := reborn.Engine().Stats().Ingested; n != 1 {
+		t.Fatalf("reborn backend ingested %d reports, want 1", n)
+	}
+}
+
+func httpGet(t *testing.T, addr, path string) int {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}
+
+// TestMetricsExposition scrapes the router's Prometheus endpoint under
+// load and lints the exposition; CI runs this by name.
+func TestMetricsExposition(t *testing.T) {
+	backends := startBackends(t, 2)
+	r, _ := startRouter(t, backends, 200*time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var reports []mcs.Report
+	for s := 0; s < 30; s++ {
+		reports = append(reports, mcs.Report{Fleet: "metrics", Participant: 0, Slot: s, X: 1, Y: 1})
+	}
+	if acked, err := mcs.SendReports(ctx, r.ingestAddr.String(), reports); err != nil || acked != len(reports) {
+		t.Fatalf("seeded %d/%d reports, err %v", acked, len(reports), err)
+	}
+	if err := r.fwd.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + r.httpBound.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	if err := obs.LintExposition(body); err != nil {
+		t.Fatalf("exposition lint: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"itscs_router_reports_forwarded_total 30",
+		"itscs_router_client_acked_total{backend=",
+		"itscs_cluster_backends_ready 2",
+		"itscs_cluster_reports_ingested_total 30",
+		"itscs_cluster_phase_latency_seconds_bucket",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestRouterHTTPSurface covers the query fan-out endpoints end to end.
+func TestRouterHTTPSurface(t *testing.T) {
+	backends := startBackends(t, 2)
+	r, _ := startRouter(t, backends, 200*time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	w, err := sim.BuildWorkload("surface", testScenario(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acked, err := mcs.SendReports(ctx, r.ingestAddr.String(), w.Reports); err != nil || acked != len(w.Reports) {
+		t.Fatalf("streamed %d/%d, err %v", acked, len(w.Reports), err)
+	}
+	if err := r.fwd.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if code := httpGet(t, r.httpBound.String(), "/healthz"); code != 200 {
+		t.Fatalf("healthz = %d", code)
+	}
+	if code := httpGet(t, r.httpBound.String(), "/backends"); code != 200 {
+		t.Fatalf("backends = %d", code)
+	}
+	resp, err := http.Get("http://" + r.httpBound.String() + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"surface"`) {
+		t.Fatalf("/results = %s, want the streamed fleet", body)
+	}
+	// The owner has windows by now (engine still open: poll until the
+	// first closes).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code := httpGet(t, r.httpBound.String(), "/results/surface")
+		if code == 200 {
+			break
+		}
+		if code != 204 || time.Now().After(deadline) {
+			t.Fatalf("/results/surface = %d", code)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if code := httpGet(t, r.httpBound.String(), "/results/nobody"); code != 404 {
+		t.Fatalf("/results/nobody = %d, want 404 passthrough", code)
+	}
+}
+
+// TestRunFlagValidation: the binary refuses to start without backends.
+func TestRunFlagValidation(t *testing.T) {
+	err := run([]string{"-backends", ""}, io.Discard, make(chan struct{}))
+	if err == nil {
+		t.Fatal("run accepted an empty backend list")
+	}
+}
+
+// TestRunLifecycle boots the full binary against live backends and shuts
+// it down through the stop channel.
+func TestRunLifecycle(t *testing.T) {
+	backends := startBackends(t, 2)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-ingest", "127.0.0.1:0",
+			"-http", "127.0.0.1:0",
+			"-backends", backendsFlag(backends),
+			"-probe-interval", "100ms",
+			"-log-format", "json",
+		}, io.Discard, stop)
+	}()
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not stop")
+	}
+}

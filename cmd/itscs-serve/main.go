@@ -34,6 +34,9 @@
 // HTTP endpoints:
 //
 //	GET /healthz         liveness probe (JSON)
+//	GET /readyz          readiness probe: 503 while startup recovery
+//	                     (checkpoint restore + WAL replay) is running,
+//	                     200 once ingest is accepting reports
 //	GET /metrics         Prometheus text exposition; JSON with
 //	                     Accept: application/json or ?format=json
 //	GET /results         fleets with at least one report, sorted
@@ -63,6 +66,7 @@ import (
 	rdebug "runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -153,17 +157,6 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	})
 	if err != nil {
 		return err
-	}
-	if d.recovery != nil {
-		logger.Info("recovered durable state",
-			"dir", *dataDir,
-			"fleets", d.recovery.Fleets,
-			"replayed_records", d.recovery.ReplayedRecords,
-			"log_records", d.recovery.LogRecords,
-			"replay_rejected", d.recovery.ReplayRejected,
-			"checkpoint_index", d.recovery.CheckpointIndex,
-			"checkpoints_skipped_corrupt", d.recovery.CheckpointsSkipped,
-			"duration_s", d.recovery.DurationS)
 	}
 	d.serve()
 	attrs := []any{"ingest", d.ingestAddr.String(), "http", d.httpBound.String()}
@@ -262,25 +255,50 @@ type daemonOptions struct {
 	dur        *durability
 	log        *slog.Logger  // nil silences the daemon
 	slowWindow time.Duration // 0 means never escalate to warn
+
+	// startupGate, when non-nil, is a test seam: the startup goroutine
+	// waits on it before running recovery, so tests can observe the
+	// not-ready state deterministically.
+	startupGate <-chan struct{}
 }
 
 // daemon wires the engine to its listeners and, when durable, to the WAL
 // and checkpointer.
+//
+// Startup is two-phase: the HTTP sidecar answers immediately (so probers
+// and operators can watch /readyz during a long recovery), while ingest
+// accept and the checkpointer start only after the startup goroutine has
+// restored the newest checkpoint and replayed the log tail — Restore
+// requires an engine that has ingested nothing, so no report may arrive
+// before recovery finishes.
 type daemon struct {
-	engine     *pipeline.Engine
-	log        *slog.Logger
-	ingest     *mcs.Server
-	ingestAddr net.Addr
-	http       *http.Server
-	httpLn     net.Listener
-	httpBound  net.Addr
-	debug      *http.Server
-	debugLn    net.Listener
-	debugBound net.Addr
-	started    time.Time
-	fatal      chan error
-	dur        *durability
-	recovery   *recoveryInfo
+	engine      *pipeline.Engine
+	log         *slog.Logger
+	ingest      *mcs.Server
+	ingestAddr  net.Addr
+	http        *http.Server
+	httpLn      net.Listener
+	httpBound   net.Addr
+	debug       *http.Server
+	debugLn     net.Listener
+	debugBound  net.Addr
+	started     time.Time
+	fatal       chan error
+	dur         *durability
+	startupGate <-chan struct{}
+
+	ready       atomic.Bool   // flips once, after recovery succeeds
+	startupDone chan struct{} // closed when the startup goroutine exits
+	recMu       sync.Mutex
+	recovery    *recoveryInfo
+}
+
+// recoveryState returns what startup restored, or nil while recovery is
+// still running (or for an in-memory daemon).
+func (d *daemon) recoveryState() *recoveryInfo {
+	d.recMu.Lock()
+	defer d.recMu.Unlock()
+	return d.recovery
 }
 
 func newDaemon(cfg pipeline.Config, opt daemonOptions) (*daemon, error) {
@@ -292,7 +310,6 @@ func newDaemon(cfg pipeline.Config, opt daemonOptions) (*daemon, error) {
 		cfg.Obs = &obs.LogObserver{Log: logger, SlowWindow: opt.slowWindow}
 	}
 	dur := opt.dur
-	var recovery *recoveryInfo
 	if dur != nil {
 		dur.slg = logger
 		dur.opt.Logger = logger
@@ -318,22 +335,15 @@ func newDaemon(cfg pipeline.Config, opt daemonOptions) (*daemon, error) {
 		}
 		return nil, err
 	}
-	if dur != nil {
-		recovery, err = recover_(engine, dur)
-		if err != nil {
-			engine.Abort()
-			_ = dur.log.Close()
-			return nil, err
-		}
-	}
 	d := &daemon{
-		engine:   engine,
-		log:      logger,
-		ingest:   mcs.NewServer(engine),
-		started:  time.Now(),
-		fatal:    make(chan error, 3),
-		dur:      dur,
-		recovery: recovery,
+		engine:      engine,
+		log:         logger,
+		ingest:      mcs.NewServer(engine),
+		started:     time.Now(),
+		fatal:       make(chan error, 3),
+		dur:         dur,
+		startupGate: opt.startupGate,
+		startupDone: make(chan struct{}),
 	}
 	d.ingest.IdleTimeout = opt.idle
 	if d.ingestAddr, err = d.ingest.Listen(opt.ingestAddr); err != nil {
@@ -356,10 +366,6 @@ func newDaemon(cfg pipeline.Config, opt daemonOptions) (*daemon, error) {
 		// -seconds argument, so the debug server gets the header timeout
 		// but no idle cap beyond the generous default.
 		d.debug = newHTTPServer(d.debugMux(), defaultReadHeaderTimeout, defaultIdleTimeout)
-	}
-	if dur != nil {
-		dur.wg.Add(1)
-		go dur.checkpointer(d.engine)
 	}
 	return d, nil
 }
@@ -497,13 +503,12 @@ func (dur *durability) stats() checkpointStats {
 	return checkpointStats{Written: dur.ckpts, Errors: dur.ckptErrs, LastError: dur.lastErr}
 }
 
-// serve starts the listeners; failures surface on d.fatal.
+// serve starts the HTTP listeners immediately — /readyz answers 503 while
+// startup runs — and launches the startup goroutine, which performs
+// recovery (checkpoint restore + log replay) and only then opens the
+// ingest accept loop and the checkpointer. A recovery failure surfaces on
+// d.fatal like a listener failure.
 func (d *daemon) serve() {
-	go func() {
-		if err := d.ingest.Serve(); err != nil {
-			d.fatal <- fmt.Errorf("ingest: %w", err)
-		}
-	}()
 	go func() {
 		if err := d.http.Serve(d.httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			d.fatal <- fmt.Errorf("http: %w", err)
@@ -516,12 +521,51 @@ func (d *daemon) serve() {
 			}
 		}()
 	}
+	go d.startup()
 }
 
-// close shuts the transport down first so no report arrives after the
+// startup runs the recovery phase and flips the daemon ready.
+func (d *daemon) startup() {
+	defer close(d.startupDone)
+	if d.startupGate != nil {
+		<-d.startupGate
+	}
+	if d.dur != nil {
+		info, err := recover_(d.engine, d.dur)
+		if err != nil {
+			d.fatal <- fmt.Errorf("recovery: %w", err)
+			return
+		}
+		d.recMu.Lock()
+		d.recovery = info
+		d.recMu.Unlock()
+		d.log.Info("recovered durable state",
+			"dir", d.dur.dir,
+			"fleets", info.Fleets,
+			"replayed_records", info.ReplayedRecords,
+			"log_records", info.LogRecords,
+			"replay_rejected", info.ReplayRejected,
+			"checkpoint_index", info.CheckpointIndex,
+			"checkpoints_skipped_corrupt", info.CheckpointsSkipped,
+			"duration_s", info.DurationS)
+		d.dur.wg.Add(1)
+		go d.dur.checkpointer(d.engine)
+	}
+	d.ready.Store(true)
+	go func() {
+		if err := d.ingest.Serve(); err != nil {
+			d.fatal <- fmt.Errorf("ingest: %w", err)
+		}
+	}()
+}
+
+// close waits for the startup goroutine (recovery must not race the
+// drain), shuts the transport down first so no report arrives after the
 // engine stops, then drains the engine (Close flushes every open partial
 // window through detection), writes a final checkpoint, and closes the log.
 func (d *daemon) close() error {
+	<-d.startupDone
+	ready := d.ready.Load()
 	err := d.ingest.Close()
 	if herr := d.http.Close(); err == nil {
 		err = herr
@@ -534,6 +578,18 @@ func (d *daemon) close() error {
 	if d.dur != nil {
 		close(d.dur.stop)
 		d.dur.wg.Wait()
+	}
+	if !ready {
+		// Startup failed: the engine may hold a half-restored state. Abort
+		// instead of draining it and leave the log alone — the next start
+		// recovers from what is durable, exactly as after a crash.
+		d.engine.Abort()
+		if d.dur != nil {
+			if lerr := d.dur.log.Close(); err == nil {
+				err = lerr
+			}
+		}
+		return err
 	}
 	d.engine.Close()
 	if d.dur != nil {
@@ -561,6 +617,22 @@ func (d *daemon) mux() *http.ServeMux {
 			"uptime_s": time.Since(d.started).Seconds(),
 		})
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness (/healthz) says "the process runs"; readiness says "the
+		// ingest accepts reports". During startup recovery the daemon is
+		// alive but must not receive traffic — the cluster router's prober
+		// keys off exactly this distinction.
+		if !d.ready.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "recovering",
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ready",
+			"uptime_s": time.Since(d.started).Seconds(),
+		})
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		payload := metricsPayload{Stats: d.engine.Stats()}
 		if d.dur != nil {
@@ -569,7 +641,7 @@ func (d *daemon) mux() *http.ServeMux {
 			cs := d.dur.stats()
 			payload.Checkpoints = &cs
 		}
-		payload.Recovery = d.recovery
+		payload.Recovery = d.recoveryState()
 		if wantsJSON(r) {
 			writeJSON(w, http.StatusOK, payload)
 			return

@@ -49,6 +49,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	d.serve()
+	waitReady(t, d)
 	defer func() {
 		if err := d.close(); err != nil {
 			t.Errorf("close: %v", err)
@@ -245,6 +246,7 @@ func TestDaemonDurableRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	d1.serve()
+	waitReady(t, d1)
 	first := reports(0, 50)
 	if acked, err := mcs.SendReports(context.Background(), d1.ingestAddr.String(), first); err != nil || acked != len(first) {
 		t.Fatalf("first life acked %d of %d, err %v", acked, len(first), err)
@@ -260,16 +262,18 @@ func TestDaemonDurableRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	d2.serve()
+	waitReady(t, d2)
 	defer func() {
 		if err := d2.close(); err != nil {
 			t.Errorf("close: %v", err)
 		}
 	}()
-	if d2.recovery == nil {
+	rec := d2.recoveryState()
+	if rec == nil {
 		t.Fatal("restart reported no recovery")
 	}
-	if d2.recovery.Fleets != 1 || d2.recovery.ReplayedRecords != 0 || d2.recovery.ReplayRejected != 0 {
-		t.Fatalf("recovery = %+v, want 1 fleet and no replay after clean shutdown", d2.recovery)
+	if rec.Fleets != 1 || rec.ReplayedRecords != 0 || rec.ReplayRejected != 0 {
+		t.Fatalf("recovery = %+v, want 1 fleet and no replay after clean shutdown", rec)
 	}
 
 	// Subscribe before streaming the second life so the window that spans
@@ -310,6 +314,83 @@ func TestDaemonDurableRestart(t *testing.T) {
 	}
 	if m.Recovery == nil || m.Recovery.Fleets != 1 {
 		t.Errorf("recovery metrics = %+v", m.Recovery)
+	}
+}
+
+// waitReady blocks until the daemon's startup phase (recovery included)
+// has completed and ingest is accepting.
+func waitReady(t *testing.T, d *daemon) {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	for !d.ready.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never became ready")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestReadyzGatesOnRecovery pins the liveness/readiness split: while
+// startup recovery runs, /healthz answers 200 but /readyz answers 503;
+// once recovery completes, /readyz flips to 200 and ingest accepts.
+func TestReadyzGatesOnRecovery(t *testing.T) {
+	opt := wal.DefaultOptions()
+	opt.Sync = wal.SyncInterval
+	gate := make(chan struct{})
+	cfg := pipeline.DefaultConfig()
+	cfg.Participants = 8
+	cfg.WindowSlots = 16
+	cfg.HopSlots = 8
+	cfg.Workers = 1
+	d, err := newDaemon(cfg, daemonOptions{
+		ingestAddr:  "127.0.0.1:0",
+		httpAddr:    "127.0.0.1:0",
+		idle:        time.Minute,
+		dur:         &durability{dir: t.TempDir(), opt: opt, every: 2},
+		startupGate: gate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.serve()
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			close(gate)
+		}
+	}
+	defer func() {
+		release()
+		if err := d.close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	base := "http://" + d.httpBound.String()
+	var health struct {
+		Status string `json:"status"`
+	}
+	if status, err := getJSON(base+"/healthz", &health); err != nil || status != http.StatusOK {
+		t.Fatalf("healthz during recovery: status %d err %v", status, err)
+	}
+	var readiness struct {
+		Status string `json:"status"`
+	}
+	status, err := getJSON(base+"/readyz", &readiness)
+	if err != nil || status != http.StatusServiceUnavailable || readiness.Status != "recovering" {
+		t.Fatalf("readyz during recovery: status %d body %+v err %v", status, readiness, err)
+	}
+
+	release()
+	waitReady(t, d)
+	if status, err := getJSON(base+"/readyz", &readiness); err != nil || status != http.StatusOK || readiness.Status != "ready" {
+		t.Fatalf("readyz after recovery: status %d body %+v err %v", status, readiness, err)
+	}
+	acked, err := mcs.SendReports(context.Background(), d.ingestAddr.String(),
+		[]mcs.Report{{Fleet: "cab", Participant: 0, Slot: 0, X: 1, Y: 2}})
+	if err != nil || acked != 1 {
+		t.Fatalf("post-ready ingest: acked %d err %v", acked, err)
 	}
 }
 

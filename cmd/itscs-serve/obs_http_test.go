@@ -36,6 +36,7 @@ func bootDaemon(t *testing.T, opt daemonOptions) *daemon {
 		t.Fatal(err)
 	}
 	d.serve()
+	waitReady(t, d)
 	t.Cleanup(func() {
 		if err := d.close(); err != nil {
 			t.Errorf("close: %v", err)

@@ -118,13 +118,26 @@ func run(p params, out io.Writer) error {
 			})
 		}
 	}
+	// Upload through the production mcs.Client — the same transport the
+	// cluster router's forwarder uses: a bounded send buffer, automatic
+	// reconnect with backoff, and per-report ok/err acknowledgements.
+	client := mcs.NewClient(addr.String(), mcs.ClientOptions{QueueDepth: len(reports)})
+	for _, r := range reports {
+		if err := client.Send(r); err != nil {
+			return err
+		}
+	}
 	ctx, cancelSend := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancelSend()
-	acked, err := mcs.SendReports(ctx, addr.String(), reports)
-	if err != nil {
+	if err := client.Flush(ctx); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "fleet uploaded %d reports (%d acknowledged)\n", len(reports), acked)
+	cst := client.Stats()
+	if err := client.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fleet uploaded %d reports (%d acknowledged, %d dials, %d retries)\n",
+		len(reports), cst.Acked, cst.Dials, cst.Retries)
 
 	if err := server.Close(); err != nil {
 		return err

@@ -1,0 +1,68 @@
+// Package cluster shards the streaming detection service across multiple
+// itscs-serve backends. Fleets are the unit of placement: every window of a
+// fleet is cut from that fleet's own stream, so the DETECT→CORRECT→CHECK
+// loop never mixes state across fleets and a fleet can live wholly on one
+// backend with results identical to a single-node run.
+//
+// The pieces compose into the itscs-router binary: a consistent-hash Ring
+// maps fleet IDs to backends, a Forwarder streams each report to its
+// owner's mcs ingest port through a reconnecting mcs.Client, a Prober
+// watches every backend's /readyz and gates traffic on the result, and a
+// Query fans HTTP reads out — /results/{fleet} to the owner,
+// /metrics to everyone with the answers merged.
+//
+// Ring membership is static (the operator's backend list); health is a
+// traffic gate, not a membership change. Ejecting a dead backend does NOT
+// remap its fleets elsewhere — their window state (ring buffers, warm
+// factors, WAL) lives only on the owner, and moving mid-stream would split
+// a fleet's matrices across two engines. Reports for an ejected owner are
+// refused and counted instead, and flow again the moment the owner's
+// /readyz recovers.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Backend identifies one itscs-serve instance: its mcs report ingest
+// address and its HTTP sidecar address. Name is the stable identity used
+// for ring placement and health bookkeeping; ParseBackends uses the ingest
+// address, which is unique per backend by construction.
+type Backend struct {
+	Name   string `json:"name"`
+	Ingest string `json:"ingest"`
+	HTTP   string `json:"http"`
+}
+
+// ParseBackends parses the router's -backends flag: a comma-separated list
+// of ingest=http address pairs, e.g.
+//
+//	10.0.0.1:7070=10.0.0.1:8080,10.0.0.2:7070=10.0.0.2:8080
+func ParseBackends(s string) ([]Backend, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cluster: empty backend list")
+	}
+	seen := make(map[string]bool)
+	var backends []Backend
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ingest, httpAddr, ok := strings.Cut(part, "=")
+		ingest, httpAddr = strings.TrimSpace(ingest), strings.TrimSpace(httpAddr)
+		if !ok || ingest == "" || httpAddr == "" {
+			return nil, fmt.Errorf("cluster: backend %q not of the form ingest=http", part)
+		}
+		if seen[ingest] {
+			return nil, fmt.Errorf("cluster: duplicate backend %q", ingest)
+		}
+		seen[ingest] = true
+		backends = append(backends, Backend{Name: ingest, Ingest: ingest, HTTP: httpAddr})
+	}
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("cluster: empty backend list")
+	}
+	return backends, nil
+}

@@ -1,0 +1,265 @@
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"itscs/internal/cluster"
+	"itscs/internal/cluster/clustertest"
+	"itscs/internal/fault"
+	"itscs/internal/mcs"
+	"itscs/internal/pipeline"
+	"itscs/internal/sim"
+)
+
+// TestChaosBackendDeathMidStream is the cluster failure drill: several
+// fleets stream through the forwarder, one backend is killed mid-stream
+// (its process aborts, in-flight work lost), and the prober ejects it.
+// The invariants mirror the single-node chaos suite:
+//
+//   - conservation: every report offered to the router is forwarded,
+//     refused-as-unroutable, or refused-as-non-finite — never silently lost
+//   - the dead owner's fleets are refused with counted err acks, and their
+//     placement does not move (re-sharding would split per-fleet state)
+//   - surviving fleets lose nothing: their per-window flags and F1 stay
+//     bitwise identical to a single-node golden run of the same workload,
+//     even though a transport cut forces one client to reconnect and retry
+//     mid-stream (duplicate-rejection absorbs the replays)
+func TestChaosBackendDeathMidStream(t *testing.T) {
+	backends := startBackends(t, 3)
+	ring := cluster.NewRing(64)
+
+	// A flaky dial: the second connection established anywhere in the
+	// cluster is cut mid-write after 2KB, exercising the client's
+	// reconnect-and-retry path during the storm.
+	var dials atomic.Int64
+	flakyDial := func(addr string) (net.Conn, error) {
+		conn, err := (&net.Dialer{Timeout: 5 * time.Second}).Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		if dials.Add(1) == 2 {
+			return fault.WrapConn(conn, fault.ConnPlan{Seed: 11, CutAfterBytes: 2048}), nil
+		}
+		return conn, nil
+	}
+
+	prober := cluster.NewProber(specs(backends), cluster.ProberOptions{})
+	defer prober.Close()
+	fwd := cluster.NewForwarder(specs(backends), ring, cluster.ForwarderOptions{
+		Client: mcs.ClientOptions{
+			Dial:       flakyDial,
+			QueueDepth: 8192, // no drop-oldest: the drill measures loss elsewhere
+			BackoffMin: time.Millisecond,
+			BackoffMax: 20 * time.Millisecond,
+		},
+		Ready: prober.Ready,
+	})
+	defer fwd.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	prober.Sweep(ctx)
+	if prober.ReadyCount() != 3 {
+		t.Fatalf("ready %d of 3 backends", prober.ReadyCount())
+	}
+
+	// Six fleets, distinct seeds, golden-run each on a single node.
+	type fleetState struct {
+		workload *sim.FleetWorkload
+		golden   map[int]sim.WindowOutcome
+		owner    string
+	}
+	fleets := map[string]*fleetState{}
+	var victimName string
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("storm-%d", i)
+		sc := sim.Scenario{Seed: int64(300 + i)}
+		w, err := sim.BuildWorkload(name, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden, err := sim.GoldenRun(w, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner, ok := fwd.Owner(name)
+		if !ok {
+			t.Fatalf("no owner for %s", name)
+		}
+		fleets[name] = &fleetState{workload: w, golden: golden, owner: owner}
+		if victimName == "" {
+			victimName = owner // kill the first fleet's owner
+		}
+	}
+	var victim *clustertest.Backend
+	for _, b := range backends {
+		if b.Spec().Name == victimName {
+			victim = b
+		}
+	}
+	victimFleets, survivorFleets := 0, 0
+	for _, st := range fleets {
+		if st.owner == victimName {
+			victimFleets++
+		} else {
+			survivorFleets++
+		}
+	}
+	if survivorFleets == 0 {
+		t.Fatal("placement put every fleet on the victim; widen the fleet set")
+	}
+
+	// Subscribe to the survivors before any report flows.
+	type subscription struct {
+		backend *clustertest.Backend
+		ch      <-chan *pipeline.WindowResult
+	}
+	var subs []subscription
+	for _, b := range backends {
+		if b == victim {
+			continue
+		}
+		ch, cancelSub := b.Engine().Subscribe(512)
+		defer cancelSub()
+		subs = append(subs, subscription{b, ch})
+	}
+
+	// Phase 1: the first half of every fleet's stream, fully delivered.
+	offered, refused := 0, 0
+	half := func(w *sim.FleetWorkload) int { return len(w.Reports) / 2 }
+	for _, st := range fleets {
+		for _, r := range st.workload.Reports[:half(st.workload)] {
+			offered++
+			if err := fwd.Ingest(r); err != nil {
+				t.Fatalf("phase-1 ingest for %s: %v", r.Fleet, err)
+			}
+		}
+	}
+	if err := fwd.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The backend dies mid-stream; the next sweep ejects it.
+	if err := victim.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	prober.Sweep(ctx)
+	if prober.Ready(victimName) {
+		t.Fatal("dead backend still admitted after a sweep")
+	}
+
+	// Phase 2: the rest of the storm. The victim's fleets are refused with
+	// ErrNoBackend — the err ack the participant sees — and counted.
+	for _, st := range fleets {
+		for _, r := range st.workload.Reports[half(st.workload):] {
+			offered++
+			err := fwd.Ingest(r)
+			if st.owner == victimName {
+				if !errors.Is(err, cluster.ErrNoBackend) {
+					t.Fatalf("victim fleet %s ingest = %v, want ErrNoBackend", r.Fleet, err)
+				}
+				refused++
+			} else if err != nil {
+				t.Fatalf("survivor fleet %s ingest: %v", r.Fleet, err)
+			}
+		}
+	}
+	if err := fwd.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Conservation at the router's door.
+	fst := fwd.Stats()
+	if fst.Unroutable != uint64(refused) || refused == 0 {
+		t.Fatalf("unroutable = %d, want %d", fst.Unroutable, refused)
+	}
+	if fst.Forwarded+fst.Unroutable+fst.NonFinite != uint64(offered) {
+		t.Fatalf("conservation broken: %d+%d+%d != %d offered",
+			fst.Forwarded, fst.Unroutable, fst.NonFinite, offered)
+	}
+	// Placement never moved during the outage.
+	for name, st := range fleets {
+		if owner, _ := fwd.Owner(name); owner != st.owner {
+			t.Fatalf("fleet %s remapped %s -> %s mid-storm", name, st.owner, owner)
+		}
+	}
+	// The transport cut really happened and was healed by retry.
+	cutRetries, cutReconnects := uint64(0), uint64(0)
+	for _, cs := range fst.Backends {
+		cutRetries += cs.Retries
+		cutReconnects += cs.Reconnects
+	}
+	if cutReconnects == 0 {
+		t.Error("the injected connection cut never forced a reconnect")
+	}
+	_ = cutRetries // a cut between reports reconnects without a resend
+
+	// No acked-report loss on survivors: every report forwarded to a live
+	// backend is in its engine (duplicate-rejected retries excluded).
+	var ingested uint64
+	for _, b := range backends {
+		if b != victim {
+			ingested += b.Engine().Stats().Ingested
+		}
+	}
+	var survivorReports uint64
+	for _, st := range fleets {
+		if st.owner != victimName {
+			survivorReports += uint64(len(st.workload.Reports))
+		}
+	}
+	if ingested != survivorReports {
+		t.Fatalf("survivors ingested %d reports, want %d — acked reports lost",
+			ingested, survivorReports)
+	}
+
+	// Drain the survivors and pin their windows to the golden runs.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	got := map[string]map[int]sim.WindowOutcome{}
+	for _, s := range subs {
+		wg.Add(1)
+		go func(s subscription) {
+			defer wg.Done()
+			for res := range s.ch {
+				st := fleets[res.Fleet]
+				if st == nil {
+					t.Errorf("result for unknown fleet %q", res.Fleet)
+					continue
+				}
+				out, err := sim.Outcome(res, st.workload.Truth)
+				if err != nil {
+					t.Error(err)
+					continue
+				}
+				mu.Lock()
+				if got[res.Fleet] == nil {
+					got[res.Fleet] = map[int]sim.WindowOutcome{}
+				}
+				got[res.Fleet][out.Seq] = out
+				mu.Unlock()
+			}
+		}(s)
+	}
+	for _, s := range subs {
+		if err := s.backend.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+
+	for name, st := range fleets {
+		if st.owner == victimName {
+			continue
+		}
+		if violations := sim.VerifyWindows(st.golden, got[name]); len(violations) > 0 {
+			t.Errorf("surviving fleet %s diverged from its golden run:\n  %v", name, violations)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package clustertest runs miniature itscs-serve backends in-process for
+// cluster tests: the real pipeline engine behind the real mcs TCP ingest
+// and an HTTP sidecar with the daemon's read surface (/healthz, /readyz,
+// /results, /results/{fleet}, /metrics). Tests get the daemon's observable
+// contract — including a gateable /readyz — without forking binaries, and
+// can kill a backend abruptly or restart it on the same addresses.
+package clustertest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"itscs/internal/cluster"
+	"itscs/internal/mcs"
+	"itscs/internal/pipeline"
+)
+
+// Options shapes one backend.
+type Options struct {
+	// Config is the pipeline engine configuration (required).
+	Config pipeline.Config
+	// IngestAddr and HTTPAddr default to 127.0.0.1:0; restarts pass the
+	// previously bound addresses to come back where the router expects.
+	IngestAddr string
+	HTTPAddr   string
+	// StartUnready leaves /readyz at 503 until SetReady(true), modelling a
+	// backend still in startup recovery.
+	StartUnready bool
+}
+
+// Backend is one in-process mini itscs-serve.
+type Backend struct {
+	engine *pipeline.Engine
+	ingest *mcs.Server
+	http   *http.Server
+	httpLn net.Listener
+
+	ingestAddr net.Addr
+	httpAddr   net.Addr
+	ready      atomic.Bool
+
+	mu     sync.Mutex
+	closed bool
+	serve  sync.WaitGroup
+}
+
+// Start boots a backend: engine, TCP ingest, HTTP sidecar.
+func Start(opt Options) (*Backend, error) {
+	if opt.IngestAddr == "" {
+		opt.IngestAddr = "127.0.0.1:0"
+	}
+	if opt.HTTPAddr == "" {
+		opt.HTTPAddr = "127.0.0.1:0"
+	}
+	engine, err := pipeline.New(opt.Config)
+	if err != nil {
+		return nil, err
+	}
+	b := &Backend{engine: engine, ingest: mcs.NewServer(engine)}
+	b.ready.Store(!opt.StartUnready)
+	if b.ingestAddr, err = b.ingest.Listen(opt.IngestAddr); err != nil {
+		engine.Close()
+		return nil, err
+	}
+	if b.httpLn, err = net.Listen("tcp", opt.HTTPAddr); err != nil {
+		_ = b.ingest.Close()
+		engine.Close()
+		return nil, fmt.Errorf("clustertest: http listen: %w", err)
+	}
+	b.httpAddr = b.httpLn.Addr()
+	b.http = &http.Server{Handler: b.mux()}
+	b.serve.Add(2)
+	go func() {
+		defer b.serve.Done()
+		_ = b.ingest.Serve()
+	}()
+	go func() {
+		defer b.serve.Done()
+		_ = b.http.Serve(b.httpLn)
+	}()
+	return b, nil
+}
+
+// Engine exposes the backend's pipeline engine for direct assertions.
+func (b *Backend) Engine() *pipeline.Engine { return b.engine }
+
+// IngestAddr and HTTPAddr return the bound listener addresses.
+func (b *Backend) IngestAddr() string { return b.ingestAddr.String() }
+func (b *Backend) HTTPAddr() string   { return b.httpAddr.String() }
+
+// Spec describes the backend the way the router's -backends flag would.
+func (b *Backend) Spec() cluster.Backend {
+	return cluster.Backend{Name: b.IngestAddr(), Ingest: b.IngestAddr(), HTTP: b.HTTPAddr()}
+}
+
+// SetReady moves /readyz between 200 and 503.
+func (b *Backend) SetReady(ready bool) { b.ready.Store(ready) }
+
+// Close shuts the backend down gracefully: the transport first so no
+// report arrives after the engine stops, then the engine (draining every
+// open window through detection).
+func (b *Backend) Close() error { return b.stop(true) }
+
+// Kill shuts the backend down abruptly — listeners torn down, engine
+// aborted with queued windows discarded — the observable shape of a
+// crashed process.
+func (b *Backend) Kill() error { return b.stop(false) }
+
+func (b *Backend) stop(graceful bool) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	b.mu.Unlock()
+	err := b.ingest.Close()
+	if herr := b.http.Close(); err == nil && !errors.Is(herr, http.ErrServerClosed) {
+		err = herr
+	}
+	if graceful {
+		b.engine.Close()
+	} else {
+		b.engine.Abort()
+	}
+	b.serve.Wait()
+	return err
+}
+
+func (b *Backend) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !b.ready.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "recovering"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	})
+	mux.HandleFunc("GET /results", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"fleets": b.engine.Fleets()})
+	})
+	mux.HandleFunc("GET /results/{fleet}", func(w http.ResponseWriter, r *http.Request) {
+		res, err := b.engine.Latest(r.PathValue("fleet"))
+		switch {
+		case errors.Is(err, pipeline.ErrNoResult):
+			w.WriteHeader(http.StatusNoContent)
+		case err != nil:
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+		default:
+			writeJSON(w, http.StatusOK, res)
+		}
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, b.engine.Stats())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"itscs/internal/pipeline"
+)
+
+// Query is the cluster's read path. Fleet-scoped reads go to the one
+// backend owning the fleet; cluster-scoped reads fan out to every backend
+// concurrently and merge the answers, so one scrape of the router sees the
+// whole cluster.
+type Query struct {
+	backends []Backend
+	byName   map[string]Backend
+	ring     *Ring
+	ready    func(string) bool
+	client   *http.Client
+}
+
+// NewQuery builds the read path. ready gates fleet-scoped proxying
+// (usually Prober.Ready; nil admits everyone); client nil uses a default
+// whose deadlines come from the per-request context.
+func NewQuery(backends []Backend, ring *Ring, ready func(string) bool, client *http.Client) *Query {
+	if ready == nil {
+		ready = func(string) bool { return true }
+	}
+	if client == nil {
+		client = &http.Client{}
+	}
+	byName := make(map[string]Backend, len(backends))
+	for _, b := range backends {
+		byName[b.Name] = b
+	}
+	return &Query{backends: backends, byName: byName, ring: ring, ready: ready, client: client}
+}
+
+// ProxyResponse is one backend's verbatim HTTP answer, relayed with its
+// status so 204 no-result-yet and 404 unknown-fleet survive the hop.
+type ProxyResponse struct {
+	Backend     string
+	Status      int
+	ContentType string
+	Body        []byte
+}
+
+// Result proxies GET /results/{fleet} to the fleet's owner. It fails with
+// ErrNoBackend when the owner is ejected: the state exists only there, so
+// no other backend can answer.
+func (q *Query) Result(ctx context.Context, fleet string) (*ProxyResponse, error) {
+	owner, ok := q.ring.Owner(fleet)
+	if !ok {
+		return nil, fmt.Errorf("%w: empty ring", ErrNoBackend)
+	}
+	if !q.ready(owner) {
+		return nil, fmt.Errorf("%w: fleet %q owner %s ejected", ErrNoBackend, fleet, owner)
+	}
+	return q.proxy(ctx, owner, "/results/"+fleet)
+}
+
+// proxy relays one GET to one backend.
+func (q *Query) proxy(ctx context.Context, name, path string) (*ProxyResponse, error) {
+	b, ok := q.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown backend %q", name)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+b.HTTP+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := q.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: backend %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: backend %s: read: %w", name, err)
+	}
+	return &ProxyResponse{
+		Backend:     name,
+		Status:      resp.StatusCode,
+		ContentType: resp.Header.Get("Content-Type"),
+		Body:        body,
+	}, nil
+}
+
+// FleetList is the merged answer to GET /results across the cluster.
+type FleetList struct {
+	// Fleets is the union of every reachable backend's fleet list, sorted.
+	Fleets []string `json:"fleets"`
+	// Errors maps backends that could not answer to the reason; readers
+	// see a partial list is partial instead of mistaking it for complete.
+	Errors map[string]string `json:"errors,omitempty"`
+}
+
+// Fleets fans GET /results out to every ready backend and unions the
+// results. Ejected backends are skipped (their fleets are unreachable
+// anyway) and noted under Errors.
+func (q *Query) Fleets(ctx context.Context) FleetList {
+	out := FleetList{Fleets: []string{}}
+	seen := make(map[string]bool)
+	for _, r := range q.fanout(ctx, "/results", true) {
+		if r.err != nil {
+			out.setErr(r.backend, r.err.Error())
+			continue
+		}
+		var payload struct {
+			Fleets []string `json:"fleets"`
+		}
+		if err := json.Unmarshal(r.body, &payload); err != nil {
+			out.setErr(r.backend, "bad /results payload: "+err.Error())
+			continue
+		}
+		for _, fleet := range payload.Fleets {
+			if !seen[fleet] {
+				seen[fleet] = true
+				out.Fleets = append(out.Fleets, fleet)
+			}
+		}
+	}
+	sort.Strings(out.Fleets)
+	return out
+}
+
+func (fl *FleetList) setErr(backend, msg string) {
+	if fl.Errors == nil {
+		fl.Errors = make(map[string]string)
+	}
+	fl.Errors[backend] = msg
+}
+
+// BackendMetrics is one backend's engine stats, or the reason they are
+// missing.
+type BackendMetrics struct {
+	Backend string          `json:"backend"`
+	Err     string          `json:"err,omitempty"`
+	Stats   *pipeline.Stats `json:"stats,omitempty"`
+}
+
+// ClusterMetrics is the merged answer to GET /metrics across the cluster:
+// each backend's engine stats plus their sum. Counters add; histograms
+// merge bucket-wise; per-fleet drop maps union (a fleet lives on one
+// backend, so keys never collide).
+type ClusterMetrics struct {
+	Backends  []BackendMetrics `json:"backends"`
+	Aggregate pipeline.Stats   `json:"aggregate"`
+}
+
+// Metrics fans GET /metrics?format=json out to every backend — ejected
+// ones included, since a recovering backend's stats are exactly what an
+// operator wants during an incident — and aggregates what answers.
+func (q *Query) Metrics(ctx context.Context) ClusterMetrics {
+	var out ClusterMetrics
+	for _, r := range q.fanout(ctx, "/metrics?format=json", false) {
+		bm := BackendMetrics{Backend: r.backend}
+		switch {
+		case r.err != nil:
+			bm.Err = r.err.Error()
+		default:
+			var stats pipeline.Stats
+			if err := json.Unmarshal(r.body, &stats); err != nil {
+				bm.Err = "bad /metrics payload: " + err.Error()
+			} else {
+				bm.Stats = &stats
+				MergeStats(&out.Aggregate, stats)
+			}
+		}
+		out.Backends = append(out.Backends, bm)
+	}
+	return out
+}
+
+type fanResult struct {
+	backend string
+	body    []byte
+	err     error
+}
+
+// fanout GETs path on the backends concurrently, in configured order.
+// onlyReady skips ejected backends, reporting them as errors.
+func (q *Query) fanout(ctx context.Context, path string, onlyReady bool) []fanResult {
+	results := make([]fanResult, len(q.backends))
+	var wg sync.WaitGroup
+	for i, b := range q.backends {
+		results[i].backend = b.Name
+		if onlyReady && !q.ready(b.Name) {
+			results[i].err = ErrNoBackend
+			continue
+		}
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			resp, err := q.proxy(ctx, name, path)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			if resp.Status != http.StatusOK {
+				results[i].err = fmt.Errorf("cluster: backend %s: status %d", name, resp.Status)
+				return
+			}
+			results[i].body = resp.Body
+		}(i, b.Name)
+	}
+	wg.Wait()
+	return results
+}
+
+// MergeStats folds src into dst: counters and gauges sum, histograms merge
+// bucket-wise with the mean recomputed, and the per-fleet drop breakdown
+// unions.
+func MergeStats(dst *pipeline.Stats, src pipeline.Stats) {
+	dst.Ingested += src.Ingested
+	dst.Replayed += src.Replayed
+	dst.Rejected += src.Rejected
+	dst.Late += src.Late
+	dst.Duplicates += src.Duplicates
+	dst.NonFinite += src.NonFinite
+	dst.WindowsClosed += src.WindowsClosed
+	dst.WindowsEmpty += src.WindowsEmpty
+	dst.WindowsSkipped += src.WindowsSkipped
+	dst.WindowsDropped += src.WindowsDropped
+	dst.WindowsProcessed += src.WindowsProcessed
+	dst.WindowsFailed += src.WindowsFailed
+	dst.WarmStarts += src.WarmStarts
+	dst.ColdStarts += src.ColdStarts
+	dst.SubscriberDrops += src.SubscriberDrops
+	dst.QueueDepth += src.QueueDepth
+	dst.QueueCapacity += src.QueueCapacity
+	dst.Fleets += src.Fleets
+	for fleet, n := range src.WindowsDroppedByFleet {
+		if dst.WindowsDroppedByFleet == nil {
+			dst.WindowsDroppedByFleet = make(map[string]uint64)
+		}
+		dst.WindowsDroppedByFleet[fleet] += n
+	}
+	for phase, h := range src.PhaseLatency {
+		if dst.PhaseLatency == nil {
+			dst.PhaseLatency = make(map[string]pipeline.HistogramSnapshot)
+		}
+		dst.PhaseLatency[phase] = mergeHistogram(dst.PhaseLatency[phase], h)
+	}
+}
+
+// mergeHistogram sums two snapshots of the shared fixed-bucket scheme.
+func mergeHistogram(a, b pipeline.HistogramSnapshot) pipeline.HistogramSnapshot {
+	out := pipeline.HistogramSnapshot{
+		Count:   a.Count + b.Count,
+		SumMS:   a.SumMS + b.SumMS,
+		Buckets: make(map[int64]uint64, len(a.Buckets)+len(b.Buckets)),
+	}
+	for bound, n := range a.Buckets {
+		out.Buckets[bound] += n
+	}
+	for bound, n := range b.Buckets {
+		out.Buckets[bound] += n
+	}
+	if out.Count > 0 {
+		out.MeanMS = out.SumMS / float64(out.Count)
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package mcs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+)
+
+// frame is the client side of the report-stream wire protocol: one JSON
+// report per line out, one "ok" / "err <reason>" line back per report. It
+// is the single home of that framing — Client, SendReports, and the
+// examples all speak through it instead of hand-rolling encoders and
+// scanners per call site.
+type frame struct {
+	w  *bufio.Writer
+	sc *bufio.Scanner
+}
+
+// newFrame wraps a connection (or any duplex stream) in the line protocol.
+func newFrame(conn io.ReadWriter) *frame {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	return &frame{w: bufio.NewWriter(conn), sc: sc}
+}
+
+// writeReport sends one report as a JSON line and flushes it to the wire.
+func (f *frame) writeReport(r Report) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("mcs: encode: %w", err)
+	}
+	if _, err := f.w.Write(b); err != nil {
+		return fmt.Errorf("mcs: send: %w", err)
+	}
+	if err := f.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("mcs: send: %w", err)
+	}
+	if err := f.w.Flush(); err != nil {
+		return fmt.Errorf("mcs: send: %w", err)
+	}
+	return nil
+}
+
+// readAck reads one acknowledgement line. ok reports acceptance; reason
+// carries the server's rejection text when ok is false. err is a transport
+// failure (EOF, timeout), after which the stream is unusable.
+func (f *frame) readAck() (ok bool, reason string, err error) {
+	if !f.sc.Scan() {
+		if serr := f.sc.Err(); serr != nil {
+			return false, "", fmt.Errorf("mcs: read ack: %w", serr)
+		}
+		return false, "", io.ErrUnexpectedEOF
+	}
+	line := f.sc.Text()
+	if line == "ok" {
+		return true, "", nil
+	}
+	return false, strings.TrimPrefix(line, "err "), nil
+}
+
+// SendReports connects to a collector server and uploads the reports in
+// order, one JSON line each, waiting for each acknowledgement. It returns
+// the number of reports acknowledged "ok" and the first transport error
+// encountered. Server-side rejections ("err ..." replies) are counted but
+// do not abort the stream: a live fleet keeps reporting even when some
+// uploads are rejected.
+//
+// SendReports is the one-shot path: a single connection, no retries. Fleets
+// that must survive backend restarts use Client, which reconnects and
+// retries under the same framing.
+func SendReports(ctx context.Context, addr string, reports []Report) (acked int, err error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return 0, fmt.Errorf("mcs: dial: %w", err)
+	}
+	defer func() {
+		if cerr := conn.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("mcs: close: %w", cerr)
+		}
+	}()
+	// Cancel blocking I/O when the context ends.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = conn.SetDeadline(immediatePast())
+		case <-stop:
+		}
+	}()
+
+	fr := newFrame(conn)
+	for _, r := range reports {
+		if err := ctx.Err(); err != nil {
+			return acked, err
+		}
+		if err := fr.writeReport(r); err != nil {
+			return acked, err
+		}
+		ok, _, err := fr.readAck()
+		if err != nil {
+			return acked, err
+		}
+		if ok {
+			acked++
+		}
+	}
+	return acked, nil
+}

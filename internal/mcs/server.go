@@ -2,11 +2,9 @@ package mcs
 
 import (
 	"bufio"
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
@@ -194,58 +192,4 @@ func writeLine(w *bufio.Writer, line string) {
 	_, _ = w.WriteString(line)
 	_ = w.WriteByte('\n')
 	_ = w.Flush()
-}
-
-// SendReports connects to a collector server and uploads the reports in
-// order, one JSON line each, waiting for each acknowledgement. It returns
-// the number of reports acknowledged "ok" and the first transport error
-// encountered. Server-side rejections ("err ..." replies) are counted but
-// do not abort the stream: a live fleet keeps reporting even when some
-// uploads are rejected.
-func SendReports(ctx context.Context, addr string, reports []Report) (acked int, err error) {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
-	if err != nil {
-		return 0, fmt.Errorf("mcs: dial: %w", err)
-	}
-	defer func() {
-		if cerr := conn.Close(); cerr != nil && err == nil {
-			err = fmt.Errorf("mcs: close: %w", cerr)
-		}
-	}()
-	// Cancel blocking I/O when the context ends.
-	stop := make(chan struct{})
-	defer close(stop)
-	go func() {
-		select {
-		case <-ctx.Done():
-			_ = conn.SetDeadline(immediatePast())
-		case <-stop:
-		}
-	}()
-
-	w := bufio.NewWriter(conn)
-	sc := bufio.NewScanner(conn)
-	enc := json.NewEncoder(w)
-	for _, r := range reports {
-		if err := ctx.Err(); err != nil {
-			return acked, err
-		}
-		if err := enc.Encode(r); err != nil {
-			return acked, fmt.Errorf("mcs: encode: %w", err)
-		}
-		if err := w.Flush(); err != nil {
-			return acked, fmt.Errorf("mcs: send: %w", err)
-		}
-		if !sc.Scan() {
-			if err := sc.Err(); err != nil {
-				return acked, fmt.Errorf("mcs: read ack: %w", err)
-			}
-			return acked, io.ErrUnexpectedEOF
-		}
-		if sc.Text() == "ok" {
-			acked++
-		}
-	}
-	return acked, nil
 }
