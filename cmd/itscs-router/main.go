@@ -30,6 +30,9 @@
 //	GET /backends        per-backend health and probe counters (JSON)
 //	GET /results         union of every backend's fleets (JSON)
 //	GET /results/{fleet} proxied to the fleet's owner (503 while ejected)
+//	GET /reputation      merged trust ledgers of every backend (JSON)
+//	GET /reputation/{fleet}               proxied to the fleet's owner
+//	GET /reputation/{fleet}/{participant} proxied to the fleet's owner
 //	GET /metrics         Prometheus text exposition of the router and the
 //	                     aggregated cluster; JSON with Accept:
 //	                     application/json or ?format=json
@@ -288,28 +291,27 @@ func (r *router) mux() *http.ServeMux {
 		writeJSON(w, http.StatusOK, r.query.Fleets(req.Context()))
 	})
 	mux.HandleFunc("GET /results/{fleet}", func(w http.ResponseWriter, req *http.Request) {
-		fleet := req.PathValue("fleet")
-		resp, err := r.query.Result(req.Context(), fleet)
-		switch {
-		case errors.Is(err, cluster.ErrNoBackend):
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": err.Error()})
-		case err != nil:
-			writeJSON(w, http.StatusBadGateway, map[string]any{"error": err.Error()})
-		default:
-			// Relay the owner's answer verbatim: 200 result, 204 no window
-			// yet, 404 unknown fleet.
-			if resp.ContentType != "" {
-				w.Header().Set("Content-Type", resp.ContentType)
-			}
-			w.WriteHeader(resp.Status)
-			_, _ = w.Write(resp.Body)
-		}
+		resp, err := r.query.Result(req.Context(), req.PathValue("fleet"))
+		relayOwner(w, resp, err)
+	})
+	mux.HandleFunc("GET /reputation", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.query.Reputation(req.Context()))
+	})
+	mux.HandleFunc("GET /reputation/{fleet}", func(w http.ResponseWriter, req *http.Request) {
+		resp, err := r.query.ReputationFleet(req.Context(), req.PathValue("fleet"))
+		relayOwner(w, resp, err)
+	})
+	mux.HandleFunc("GET /reputation/{fleet}/{participant}", func(w http.ResponseWriter, req *http.Request) {
+		resp, err := r.query.ReputationParticipant(req.Context(),
+			req.PathValue("fleet"), req.PathValue("participant"))
+		relayOwner(w, resp, err)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
 		payload := metricsPayload{
-			Forwarder: r.fwd.Stats(),
-			Backends:  r.prober.Snapshot(),
-			Cluster:   r.query.Metrics(req.Context()),
+			Forwarder:  r.fwd.Stats(),
+			Backends:   r.prober.Snapshot(),
+			Cluster:    r.query.Metrics(req.Context()),
+			Reputation: r.query.Reputation(req.Context()),
 		}
 		if wantsJSON(req) {
 			writeJSON(w, http.StatusOK, payload)
@@ -323,11 +325,31 @@ func (r *router) mux() *http.ServeMux {
 }
 
 // metricsPayload is the router's /metrics JSON: its own data plane, the
-// health view, and the aggregated cluster engine stats.
+// health view, the aggregated cluster engine stats, and the merged
+// reputation ledgers.
 type metricsPayload struct {
-	Forwarder cluster.ForwarderStats  `json:"forwarder"`
-	Backends  []cluster.BackendStatus `json:"backends"`
-	Cluster   cluster.ClusterMetrics  `json:"cluster"`
+	Forwarder  cluster.ForwarderStats    `json:"forwarder"`
+	Backends   []cluster.BackendStatus   `json:"backends"`
+	Cluster    cluster.ClusterMetrics    `json:"cluster"`
+	Reputation cluster.ClusterReputation `json:"reputation"`
+}
+
+// relayOwner writes a proxied owner answer verbatim (200 result, 204 no
+// window yet, 404 unknown fleet or participant, 400 malformed id), mapping
+// an ejected owner to 503 and any other proxy failure to 502.
+func relayOwner(w http.ResponseWriter, resp *cluster.ProxyResponse, err error) {
+	switch {
+	case errors.Is(err, cluster.ErrNoBackend):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadGateway, map[string]any{"error": err.Error()})
+	default:
+		if resp.ContentType != "" {
+			w.Header().Set("Content-Type", resp.ContentType)
+		}
+		w.WriteHeader(resp.Status)
+		_, _ = w.Write(resp.Body)
+	}
 }
 
 // wantsJSON mirrors itscs-serve's content negotiation: Prometheus text by

@@ -14,6 +14,7 @@ import (
 	"itscs/internal/mcs"
 	"itscs/internal/obs"
 	"itscs/internal/pipeline"
+	"itscs/internal/reputation"
 	"itscs/internal/sim"
 )
 
@@ -25,9 +26,13 @@ func testScenario(seed int64) sim.Scenario {
 
 func startBackends(t *testing.T, n int) []*clustertest.Backend {
 	t.Helper()
+	rep := reputation.DefaultConfig()
 	backends := make([]*clustertest.Backend, n)
 	for i := range backends {
-		b, err := clustertest.Start(clustertest.Options{Config: sim.EngineConfig(testScenario(1))})
+		b, err := clustertest.Start(clustertest.Options{
+			Config:     sim.EngineConfig(testScenario(1)),
+			Reputation: &rep,
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -352,10 +357,16 @@ func TestMetricsExposition(t *testing.T) {
 	}
 	for _, want := range []string{
 		"itscs_router_reports_forwarded_total 30",
+		"itscs_router_reports_invalid_identity_total 0",
 		"itscs_router_client_acked_total{backend=",
 		"itscs_cluster_backends_ready 2",
 		"itscs_cluster_reports_ingested_total 30",
+		"itscs_cluster_reports_admitted_clean_total 30",
 		"itscs_cluster_phase_latency_seconds_bucket",
+		"itscs_cluster_reputation_fleets",
+		`itscs_cluster_reputation_participants{state="quarantined"}`,
+		"itscs_cluster_reputation_windows_folded_total",
+		"itscs_cluster_reputation_folds_skipped_total",
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("exposition missing %q", want)
@@ -411,6 +422,38 @@ func TestRouterHTTPSurface(t *testing.T) {
 	}
 	if code := httpGet(t, r.httpBound.String(), "/results/nobody"); code != 404 {
 		t.Fatalf("/results/nobody = %d, want 404 passthrough", code)
+	}
+
+	// The reputation surface: the merged view lists the fleet once a window
+	// has folded, and the owner-proxied routes relay the backend's answers
+	// (including error shapes) verbatim.
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		if code := httpGet(t, r.httpBound.String(), "/reputation/surface"); code == 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/reputation/surface never turned 200")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	repResp, err := http.Get("http://" + r.httpBound.String() + "/reputation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	repBody, _ := io.ReadAll(repResp.Body)
+	repResp.Body.Close()
+	if repResp.StatusCode != 200 || !strings.Contains(string(repBody), `"surface"`) {
+		t.Fatalf("/reputation = %d %s, want the streamed fleet", repResp.StatusCode, repBody)
+	}
+	if code := httpGet(t, r.httpBound.String(), "/reputation/surface/0"); code != 200 {
+		t.Fatalf("/reputation/surface/0 = %d", code)
+	}
+	if code := httpGet(t, r.httpBound.String(), "/reputation/nobody"); code != 404 {
+		t.Fatalf("/reputation/nobody = %d, want 404 passthrough", code)
+	}
+	if code := httpGet(t, r.httpBound.String(), "/reputation/surface/xyz"); code != 400 {
+		t.Fatalf("/reputation/surface/xyz = %d, want 400 passthrough", code)
 	}
 }
 

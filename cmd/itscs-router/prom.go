@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"itscs/internal/obs"
+	"itscs/internal/reputation"
 )
 
 // renderProm flattens the router's metrics payload into Prometheus text
@@ -28,6 +29,7 @@ func renderProm(p metricsPayload, uptime time.Duration) []byte {
 	b.Counter("itscs_router_reports_forwarded_total", "Reports accepted into a backend client's send buffer.", float64(f.Forwarded))
 	b.Counter("itscs_router_reports_unroutable_total", "Reports refused because the fleet's owner was ejected.", float64(f.Unroutable))
 	b.Counter("itscs_router_reports_non_finite_total", "Reports refused at the router for NaN or infinite values.", float64(f.NonFinite))
+	b.Counter("itscs_router_reports_invalid_identity_total", "Reports refused at the router for an empty fleet or negative participant.", float64(f.InvalidIdentity))
 
 	names := f.SortedBackends()
 	emitPerBackend := func(name, help string, value func(string) float64, counter bool) {
@@ -109,6 +111,11 @@ func renderProm(p metricsPayload, uptime time.Duration) []byte {
 	b.Counter("itscs_cluster_reports_late_total", "Rejected reports below their fleet's retention horizon.", float64(agg.Late))
 	b.Counter("itscs_cluster_reports_duplicate_total", "Rejected reports targeting an already-filled cell.", float64(agg.Duplicates))
 	b.Counter("itscs_cluster_reports_non_finite_total", "Rejected reports carrying NaN or infinite values.", float64(agg.NonFinite))
+	// Admission-gate breakdown: the three sum to ingested — tagged reports
+	// are admitted, never dropped.
+	b.Counter("itscs_cluster_reports_admitted_clean_total", "Ingested reports from participants in good standing across the cluster.", float64(agg.AdmittedClean))
+	b.Counter("itscs_cluster_reports_tagged_quarantined_total", "Ingested reports tagged as coming from quarantined participants.", float64(agg.TaggedQuarantined))
+	b.Counter("itscs_cluster_reports_tagged_probation_total", "Ingested reports tagged as coming from participants on probation.", float64(agg.TaggedProbation))
 	b.Counter("itscs_cluster_windows_closed_total", "Windows cut from the streams across the cluster.", float64(agg.WindowsClosed))
 	b.Counter("itscs_cluster_windows_empty_total", "Closed windows discarded for holding no observations.", float64(agg.WindowsEmpty))
 	b.Counter("itscs_cluster_windows_skipped_total", "Windows jumped over to catch up after a slot gap.", float64(agg.WindowsSkipped))
@@ -123,6 +130,22 @@ func renderProm(p metricsPayload, uptime time.Duration) []byte {
 		b.Histogram("itscs_cluster_phase_latency_seconds",
 			"Wall-clock latency by pipeline phase, summed across backends.",
 			agg.PhaseLatency[phase], obs.Label{Name: "phase", Value: phase})
+	}
+
+	// Merged reputation ledgers (fleets shard whole, so the union over
+	// backends double-counts nothing). Every state is emitted even at zero
+	// so dashboards see the full census from the first scrape.
+	rep := p.Reputation.Stats
+	b.Gauge("itscs_cluster_reputation_fleets", "Fleets with trust state across the cluster.", float64(rep.Fleets))
+	for _, state := range reputation.StateNames() {
+		b.Gauge("itscs_cluster_reputation_participants", "Participants by trust state across the cluster.",
+			float64(rep.States[state]), obs.Label{Name: "state", Value: state})
+	}
+	b.Counter("itscs_cluster_reputation_windows_folded_total", "Window results folded into trust ledgers across the cluster.", float64(rep.Folded))
+	b.Counter("itscs_cluster_reputation_folds_skipped_total", "Window folds skipped as already applied (replay overlap) across the cluster.", float64(rep.Skipped))
+	for _, tr := range rep.Transitions {
+		b.Counter("itscs_cluster_reputation_transitions_total", "Trust state transitions across the cluster.",
+			float64(tr.Count), obs.Label{Name: "from", Value: tr.From}, obs.Label{Name: "to", Value: tr.To})
 	}
 	return b.Bytes()
 }

@@ -12,6 +12,16 @@
 // is restored and the log tail replayed, so a crash loses at most what the
 // fsync policy permits.
 //
+// A participant reputation ledger (on by default, -reputation=false to
+// disable) folds every completed window's verdicts into per-participant
+// trust scores and drives the trusted → suspect → quarantined → probation
+// quarantine state machine. Reports from quarantined or probation
+// participants are admitted and tagged, never dropped; the ledger is
+// queryable under /reputation, serialized into every checkpoint, and
+// rebuilt deterministically by WAL replay. Reports without a routable
+// identity (empty fleet name, negative participant) are refused at the
+// ingest door with a counted invalid_identity rejection.
+//
 // All diagnostics are structured logs (log/slog) on stdout; -log-format
 // selects text or json and -log-level the floor. Slow windows, dropped
 // windows, failed windows, WAL recovery damage and checkpoint failures all
@@ -30,6 +40,9 @@
 //	            [-log-format text|json] [-log-level info]
 //	            [-slow-window 30s] [-trace-depth 64]
 //	            [-debug-addr 127.0.0.1:6060]
+//	            [-reputation] [-rep-decay 0.9] [-rep-suspect-below 0.70]
+//	            [-rep-quarantine-below 0.45] [-rep-probation-above 0.55]
+//	            [-rep-readmit-above 0.75] [-rep-min-weight 3]
 //
 // HTTP endpoints:
 //
@@ -43,6 +56,10 @@
 //	GET /results/{fleet} newest completed window result for the fleet
 //	                     (204 when the fleet exists but no window closed)
 //	GET /trace/{fleet}   recent per-window trace spans, newest first
+//	GET /reputation      the whole trust ledger: per-fleet participant
+//	                     scores, states, and aggregate counters
+//	GET /reputation/{fleet}                one fleet's ledger (404 unknown)
+//	GET /reputation/{fleet}/{participant}  one participant's trust row
 //
 // Debug endpoints (only with -debug-addr):
 //
@@ -64,6 +81,7 @@ import (
 	"os/signal"
 	"runtime"
 	rdebug "runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -74,6 +92,7 @@ import (
 	"itscs/internal/mcs"
 	"itscs/internal/obs"
 	"itscs/internal/pipeline"
+	"itscs/internal/reputation"
 	"itscs/internal/wal"
 )
 
@@ -108,6 +127,14 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	logLevel := fs.String("log-level", "info", "log level floor: debug, info, warn or error")
 	slowWindow := fs.Duration("slow-window", 30*time.Second, "window wall-clock above which processing logs at warn")
 	traceDepth := fs.Int("trace-depth", 64, "per-fleet trace spans retained for /trace (0 = default, negative disables)")
+	repDefaults := reputation.DefaultConfig()
+	repEnabled := fs.Bool("reputation", true, "maintain the participant trust ledger and quarantine state machine")
+	repDecay := fs.Float64("rep-decay", repDefaults.Decay, "per-window decay of the trust evidence masses, in (0,1)")
+	repSuspect := fs.Float64("rep-suspect-below", repDefaults.SuspectBelow, "trust lower bound below which a trusted participant turns suspect")
+	repQuarantine := fs.Float64("rep-quarantine-below", repDefaults.QuarantineBelow, "trust lower bound below which a suspect (or probation) participant is quarantined")
+	repProbation := fs.Float64("rep-probation-above", repDefaults.ProbationAbove, "trust lower bound at which a quarantined participant enters probation")
+	repReadmit := fs.Float64("rep-readmit-above", repDefaults.ReadmitAbove, "trust lower bound at which a suspect or probation participant is readmitted as trusted")
+	repMinWeight := fs.Float64("rep-min-weight", repDefaults.MinWeight, "minimum decayed evidence mass before any state transition fires")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -146,12 +173,25 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		dur = &durability{dir: *dataDir, opt: opt, every: uint64(*checkpointEvery)}
 	}
 
+	var repCfg *reputation.Config
+	if *repEnabled {
+		rc := repDefaults
+		rc.Decay = *repDecay
+		rc.SuspectBelow = *repSuspect
+		rc.QuarantineBelow = *repQuarantine
+		rc.ProbationAbove = *repProbation
+		rc.ReadmitAbove = *repReadmit
+		rc.MinWeight = *repMinWeight
+		repCfg = &rc
+	}
+
 	d, err := newDaemon(cfg, daemonOptions{
 		ingestAddr: *ingestAddr,
 		httpAddr:   *httpAddr,
 		debugAddr:  *debugAddr,
 		idle:       *idle,
 		dur:        dur,
+		rep:        repCfg,
 		log:        logger,
 		slowWindow: *slowWindow,
 	})
@@ -194,8 +234,9 @@ type durability struct {
 	opt   wal.Options
 	every uint64 // checkpoint every N closed windows
 
-	log *wal.Log
-	slg *slog.Logger
+	log    *wal.Log
+	slg    *slog.Logger
+	ledger *reputation.Ledger // serialized into checkpoints when non-nil
 
 	// kick is signaled by the engine's OnWindowClose hook; the checkpointer
 	// goroutine owns everything below.
@@ -253,8 +294,9 @@ type daemonOptions struct {
 	debugAddr  string // empty disables the pprof/buildinfo listener
 	idle       time.Duration
 	dur        *durability
-	log        *slog.Logger  // nil silences the daemon
-	slowWindow time.Duration // 0 means never escalate to warn
+	rep        *reputation.Config // nil disables the trust ledger
+	log        *slog.Logger       // nil silences the daemon
+	slowWindow time.Duration      // 0 means never escalate to warn
 
 	// startupGate, when non-nil, is a test seam: the startup goroutine
 	// waits on it before running recovery, so tests can observe the
@@ -285,7 +327,13 @@ type daemon struct {
 	started     time.Time
 	fatal       chan error
 	dur         *durability
+	ledger      *reputation.Ledger // nil when -reputation=false
 	startupGate <-chan struct{}
+
+	// invalidIdentity counts reports the ingest door refused for an empty
+	// fleet or negative participant id — before they could reach the
+	// engine as unroutable, unattributable rows.
+	invalidIdentity atomic.Uint64
 
 	ready       atomic.Bool   // flips once, after recovery succeeds
 	startupDone chan struct{} // closed when the startup goroutine exits
@@ -309,10 +357,20 @@ func newDaemon(cfg pipeline.Config, opt daemonOptions) (*daemon, error) {
 	if cfg.Obs == nil {
 		cfg.Obs = &obs.LogObserver{Log: logger, SlowWindow: opt.slowWindow}
 	}
+	var ledger *reputation.Ledger
+	if opt.rep != nil {
+		var err error
+		if ledger, err = reputation.New(*opt.rep); err != nil {
+			return nil, err
+		}
+		cfg.Gate = ledger
+		cfg.OnResult = ledger.Fold
+	}
 	dur := opt.dur
 	if dur != nil {
 		dur.slg = logger
 		dur.opt.Logger = logger
+		dur.ledger = ledger
 		log, err := wal.Open(dur.dir, dur.opt)
 		if err != nil {
 			return nil, err
@@ -338,13 +396,17 @@ func newDaemon(cfg pipeline.Config, opt daemonOptions) (*daemon, error) {
 	d := &daemon{
 		engine:      engine,
 		log:         logger,
-		ingest:      mcs.NewServer(engine),
 		started:     time.Now(),
 		fatal:       make(chan error, 3),
 		dur:         dur,
+		ledger:      ledger,
 		startupGate: opt.startupGate,
 		startupDone: make(chan struct{}),
 	}
+	// The TCP door fronts the engine with the identity check: a report with
+	// no routable identity is refused (and counted) before it can occupy a
+	// default-fleet shard no cluster router would ever query.
+	d.ingest = mcs.NewServer(&identityGate{next: engine, invalid: &d.invalidIdentity})
 	d.ingest.IdleTimeout = opt.idle
 	if d.ingestAddr, err = d.ingest.Listen(opt.ingestAddr); err != nil {
 		d.teardown()
@@ -368,6 +430,23 @@ func newDaemon(cfg pipeline.Config, opt daemonOptions) (*daemon, error) {
 		d.debug = newHTTPServer(d.debugMux(), defaultReadHeaderTimeout, defaultIdleTimeout)
 	}
 	return d, nil
+}
+
+// identityGate fronts the engine on the TCP ingest path: mcs.Report
+// identity fields are validated before the engine (or the WAL) sees the
+// report, so the refusal is counted and acked instead of admitting an
+// unroutable row.
+type identityGate struct {
+	next    mcs.Ingestor
+	invalid *atomic.Uint64
+}
+
+func (g *identityGate) Ingest(r mcs.Report) error {
+	if err := r.CheckIdentity(); err != nil {
+		g.invalid.Add(1)
+		return err
+	}
+	return g.next.Ingest(r)
 }
 
 // teardown releases everything newDaemon acquired before a later step
@@ -420,10 +499,22 @@ func recover_(engine *pipeline.Engine, dur *durability) (*recoveryInfo, error) {
 		if rerr := engine.Restore(ck); rerr != nil {
 			return nil, fmt.Errorf("restore checkpoint: %w", rerr)
 		}
+		if dur.ledger != nil {
+			// A version-1 checkpoint carries no blob; Restore(nil) resets the
+			// ledger and the replayed tail rebuilds what it can.
+			if rerr := dur.ledger.Restore(ck.Reputation); rerr != nil {
+				return nil, fmt.Errorf("restore reputation ledger: %w", rerr)
+			}
+		}
 		info.CheckpointIndex = ck.LogIndex
 		info.Fleets = len(ck.Shards)
 	case errors.Is(err, wal.ErrNoCheckpoint):
 		// Cold directory or checkpoints all corrupt: replay everything.
+		if dur.ledger != nil {
+			if rerr := dur.ledger.Restore(nil); rerr != nil {
+				return nil, fmt.Errorf("reset reputation ledger: %w", rerr)
+			}
+		}
 	default:
 		return nil, err
 	}
@@ -478,6 +569,14 @@ func (dur *durability) checkpointOnce(engine *pipeline.Engine, closed uint64) er
 	ck, err := engine.Checkpoint()
 	if err != nil {
 		return err
+	}
+	if dur.ledger != nil {
+		// Checkpoint drained the engine first, so every window the snapshot
+		// covers has already been folded (OnResult fires before the window
+		// counts as processed) and the blob is consistent with the shards.
+		if ck.Reputation, err = dur.ledger.MarshalBinary(); err != nil {
+			return err
+		}
 	}
 	if _, err := wal.WriteCheckpointFS(dur.fs(), dur.dir, ck); err != nil {
 		return err
@@ -642,6 +741,11 @@ func (d *daemon) mux() *http.ServeMux {
 			payload.Checkpoints = &cs
 		}
 		payload.Recovery = d.recoveryState()
+		payload.InvalidIdentity = d.invalidIdentity.Load()
+		if d.ledger != nil {
+			rs := d.ledger.Stats()
+			payload.Reputation = &rs
+		}
 		if wantsJSON(r) {
 			writeJSON(w, http.StatusOK, payload)
 			return
@@ -675,6 +779,46 @@ func (d *daemon) mux() *http.ServeMux {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"fleet": fleet, "spans": spans})
+	})
+	mux.HandleFunc("GET /reputation", func(w http.ResponseWriter, r *http.Request) {
+		if d.ledger == nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": "reputation ledger disabled"})
+			return
+		}
+		writeJSON(w, http.StatusOK, d.ledger.Snapshot())
+	})
+	mux.HandleFunc("GET /reputation/{fleet}", func(w http.ResponseWriter, r *http.Request) {
+		if d.ledger == nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": "reputation ledger disabled"})
+			return
+		}
+		fleet := r.PathValue("fleet")
+		fs, ok := d.ledger.Fleet(fleet)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown fleet: " + fleet})
+			return
+		}
+		writeJSON(w, http.StatusOK, fs)
+	})
+	mux.HandleFunc("GET /reputation/{fleet}/{participant}", func(w http.ResponseWriter, r *http.Request) {
+		if d.ledger == nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": "reputation ledger disabled"})
+			return
+		}
+		fleet := r.PathValue("fleet")
+		part, err := strconv.Atoi(r.PathValue("participant"))
+		if err != nil || part < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": "participant must be a non-negative integer"})
+			return
+		}
+		ps, ok := d.ledger.Participant(fleet, part)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]any{
+				"error": fmt.Sprintf("no trust row for participant %d of fleet %q", part, fleet),
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, ps)
 	})
 	return mux
 }
@@ -735,9 +879,11 @@ func buildInfo(uptime time.Duration) map[string]any {
 // adds the WAL, checkpointer, and recovery sections when durable.
 type metricsPayload struct {
 	pipeline.Stats
-	WAL         *wal.Stats       `json:"wal,omitempty"`
-	Checkpoints *checkpointStats `json:"checkpoints,omitempty"`
-	Recovery    *recoveryInfo    `json:"recovery,omitempty"`
+	InvalidIdentity uint64                  `json:"reports_invalid_identity"`
+	WAL             *wal.Stats              `json:"wal,omitempty"`
+	Checkpoints     *checkpointStats        `json:"checkpoints,omitempty"`
+	Recovery        *recoveryInfo           `json:"recovery,omitempty"`
+	Reputation      *reputation.LedgerStats `json:"reputation,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -11,6 +11,7 @@ import (
 	"itscs/internal/mcs"
 	"itscs/internal/obs"
 	"itscs/internal/pipeline"
+	"itscs/internal/reputation"
 	"itscs/internal/wal"
 )
 
@@ -53,7 +54,11 @@ func bootDaemon(t *testing.T, opt daemonOptions) *daemon {
 func TestMetricsExposition(t *testing.T) {
 	opt := wal.DefaultOptions()
 	opt.Sync = wal.SyncInterval
-	d := bootDaemon(t, daemonOptions{dur: &durability{dir: t.TempDir(), opt: opt, every: 2}})
+	rep := reputation.DefaultConfig()
+	d := bootDaemon(t, daemonOptions{
+		dur: &durability{dir: t.TempDir(), opt: opt, every: 2},
+		rep: &rep,
+	})
 	if err := d.engine.Ingest(mcs.Report{Fleet: "cab", Participant: 0, Slot: 0, X: 1, Y: 2}); err != nil {
 		t.Fatal(err)
 	}
@@ -79,10 +84,16 @@ func TestMetricsExposition(t *testing.T) {
 	}
 	for _, want := range []string{
 		"itscs_reports_ingested_total 1",
+		"itscs_reports_invalid_identity_total",
+		"itscs_reports_admitted_clean_total 1",
 		"itscs_queue_capacity",
 		"itscs_phase_latency_seconds_bucket",
 		"itscs_wal_records_total",
 		"itscs_checkpoints_written_total",
+		"itscs_reputation_fleets",
+		`itscs_reputation_participants{state="quarantined"}`,
+		"itscs_reputation_windows_folded_total",
+		"itscs_reputation_folds_skipped_total",
 		"itscs_build_info",
 	} {
 		if !strings.Contains(string(body), want) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"itscs/internal/obs"
+	"itscs/internal/reputation"
 )
 
 // renderProm flattens the daemon's whole metrics payload into Prometheus
@@ -29,6 +30,13 @@ func renderProm(p metricsPayload, uptime time.Duration) []byte {
 	b.Counter("itscs_reports_late_total", "Rejected reports below their fleet's retention horizon.", float64(p.Late))
 	b.Counter("itscs_reports_duplicate_total", "Rejected reports targeting an already-filled cell.", float64(p.Duplicates))
 	b.Counter("itscs_reports_non_finite_total", "Rejected reports carrying NaN or infinite values.", float64(p.NonFinite))
+	b.Counter("itscs_reports_invalid_identity_total", "Reports refused at the ingest door for an empty fleet or negative participant.", float64(p.InvalidIdentity))
+
+	// Admission-gate counters. The gate tags, it never drops:
+	// admitted_clean + tagged_quarantined + tagged_probation == ingested.
+	b.Counter("itscs_reports_admitted_clean_total", "Ingested reports from participants in good standing.", float64(p.AdmittedClean))
+	b.Counter("itscs_reports_tagged_quarantined_total", "Ingested reports tagged as coming from quarantined participants.", float64(p.TaggedQuarantined))
+	b.Counter("itscs_reports_tagged_probation_total", "Ingested reports tagged as coming from probation participants.", float64(p.TaggedProbation))
 
 	// Window lifecycle counters.
 	b.Counter("itscs_windows_closed_total", "Windows cut from the streams.", float64(p.WindowsClosed))
@@ -76,6 +84,25 @@ func renderProm(p metricsPayload, uptime time.Duration) []byte {
 	if p.Checkpoints != nil {
 		b.Counter("itscs_checkpoints_written_total", "Shard checkpoints persisted.", float64(p.Checkpoints.Written))
 		b.Counter("itscs_checkpoint_errors_total", "Checkpoint attempts that failed.", float64(p.Checkpoints.Errors))
+	}
+	if p.Reputation != nil {
+		rep := p.Reputation
+		b.Gauge("itscs_reputation_fleets", "Fleets with at least one trust row.", float64(rep.Fleets))
+		// Every state appears even at zero, so a scrape always sees the full
+		// census and rate() never starts from a missing series.
+		for _, state := range reputation.StateNames() {
+			b.Gauge("itscs_reputation_participants",
+				"Participants with folded evidence, by quarantine state.",
+				float64(rep.States[state]), obs.Label{Name: "state", Value: state})
+		}
+		b.Counter("itscs_reputation_windows_folded_total", "Completed windows folded into the trust ledger.", float64(rep.Folded))
+		b.Counter("itscs_reputation_folds_skipped_total", "Window folds skipped as duplicates behind a fleet's sequence frontier.", float64(rep.Skipped))
+		for _, tr := range rep.Transitions {
+			b.Counter("itscs_reputation_transitions_total",
+				"Quarantine state-machine transitions, by edge.",
+				float64(tr.Count),
+				obs.Label{Name: "from", Value: tr.From}, obs.Label{Name: "to", Value: tr.To})
+		}
 	}
 	if p.Recovery != nil {
 		r := p.Recovery

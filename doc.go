@@ -1,7 +1,8 @@
 // Package itscs implements I(TS,CS), a joint faulty-data detection and
 // missing-value reconstruction framework for mobile-crowdsensing location
 // data, reproducing Wang et al., "I(TS,CS): Detecting Faulty Location Data
-// in Mobile Crowdsensing" (IEEE ICDCS 2018).
+// in Mobile Crowdsensing" (IEEE ICDCS 2018) — and grows it into a
+// production-shaped streaming system around the algorithm.
 //
 // # Problem
 //
@@ -9,8 +10,9 @@
 // coordinates in fixed time slots. The resulting coordinate matrices suffer
 // from missing values (participants go dark) and faulty data (sensor
 // glitches, transmission errors, malicious uploads). Because location data
-// is unique to each participant, the reputation and multi-observation
-// techniques used for other sensing modalities do not apply.
+// is unique to each participant, faults cannot be voted away by comparing
+// redundant observations of the same quantity: detection has to come from
+// the structure of the data itself.
 //
 // # Approach
 //
@@ -44,4 +46,36 @@
 //
 // The itscs/synthetic subpackage generates urban taxi-fleet workloads with
 // controlled corruption for testing and benchmarking.
+//
+// # Architecture
+//
+// This root package is the pure algorithm; the repository layers a
+// deployable system around it (see DESIGN.md for the full rationale):
+//
+//   - internal/core runs the DETECT→CORRECT→CHECK loop over one sliding
+//     window, with warm-started factor chains between windows; internal/mat,
+//     internal/tsdetect, internal/csrecon and internal/stat are its numeric
+//     kernels.
+//   - internal/pipeline shards fleets onto a bounded worker pool and turns
+//     a live report stream (internal/mcs line protocol) into per-window
+//     results with conservation-checked counters.
+//   - internal/wal makes ingest durable: a segmented write-ahead log with
+//     pluggable fsync policy, versioned checkpoints and crash recovery by
+//     restore-plus-replay.
+//   - internal/reputation folds each window's verdict matrix into a
+//     per-participant trust ledger with exponentially decayed evidence,
+//     Wilson confidence bounds and a hysteresis quarantine state machine.
+//     The paper brackets reputation out because location readings are not
+//     multiply observed; the ledger builds it back on top of the per-window
+//     verdicts instead, scoring participants by how often their own cells
+//     are flagged, missing, flip under CHECK, or sit far from the
+//     reconstruction. Quarantine tags — it never drops a report, because
+//     removing rows would change the matrices the detector runs on.
+//   - internal/cluster + cmd/itscs-router shard a deployment by fleet over
+//     a consistent-hash ring with scatter-gather reads, keeping results
+//     bit-identical to single-node runs.
+//   - internal/obs (logging, metrics, tracing) and internal/sim (the
+//     deterministic fault-injection harness) make the whole stack
+//     observable and crash-testable; cmd/itscs-serve is the single-node
+//     daemon binding all of the above.
 package itscs

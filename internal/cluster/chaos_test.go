@@ -23,8 +23,9 @@ import (
 // (its process aborts, in-flight work lost), and the prober ejects it.
 // The invariants mirror the single-node chaos suite:
 //
-//   - conservation: every report offered to the router is forwarded,
-//     refused-as-unroutable, or refused-as-non-finite — never silently lost
+//   - conservation: every report offered to the router is forwarded or
+//     refused with a counted reason (unroutable, non-finite, invalid
+//     identity) — never silently lost
 //   - the dead owner's fleets are refused with counted err acks, and their
 //     placement does not move (re-sharding would split per-fleet state)
 //   - surviving fleets lose nothing: their per-window flags and F1 stay
@@ -179,9 +180,9 @@ func TestChaosBackendDeathMidStream(t *testing.T) {
 	if fst.Unroutable != uint64(refused) || refused == 0 {
 		t.Fatalf("unroutable = %d, want %d", fst.Unroutable, refused)
 	}
-	if fst.Forwarded+fst.Unroutable+fst.NonFinite != uint64(offered) {
-		t.Fatalf("conservation broken: %d+%d+%d != %d offered",
-			fst.Forwarded, fst.Unroutable, fst.NonFinite, offered)
+	if fst.Forwarded+fst.Unroutable+fst.NonFinite+fst.InvalidIdentity != uint64(offered) {
+		t.Fatalf("conservation broken: %d+%d+%d+%d != %d offered",
+			fst.Forwarded, fst.Unroutable, fst.NonFinite, fst.InvalidIdentity, offered)
 	}
 	// Placement never moved during the outage.
 	for name, st := range fleets {

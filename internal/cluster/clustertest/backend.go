@@ -1,9 +1,13 @@
 // Package clustertest runs miniature itscs-serve backends in-process for
 // cluster tests: the real pipeline engine behind the real mcs TCP ingest
 // and an HTTP sidecar with the daemon's read surface (/healthz, /readyz,
-// /results, /results/{fleet}, /metrics). Tests get the daemon's observable
-// contract — including a gateable /readyz — without forking binaries, and
-// can kill a backend abruptly or restart it on the same addresses.
+// /results, /results/{fleet}, /metrics, /reputation...). Tests get the
+// daemon's observable contract — including a gateable /readyz — without
+// forking binaries, and can kill a backend abruptly or restart it on the
+// same addresses. With DataDir set the backend is durable the way the
+// daemon is: acked reports go through the WAL, Checkpoint persists shard
+// state plus the reputation ledger, and Start recovers both before the
+// listeners open.
 package clustertest
 
 import (
@@ -12,12 +16,15 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"itscs/internal/cluster"
 	"itscs/internal/mcs"
 	"itscs/internal/pipeline"
+	"itscs/internal/reputation"
+	"itscs/internal/wal"
 )
 
 // Options shapes one backend.
@@ -31,11 +38,23 @@ type Options struct {
 	// StartUnready leaves /readyz at 503 until SetReady(true), modelling a
 	// backend still in startup recovery.
 	StartUnready bool
+	// Reputation, when non-nil, wires a trust ledger into the engine as the
+	// admission gate and window-fold observer, exposed under /reputation.
+	Reputation *reputation.Config
+	// DataDir, when non-empty, makes the backend durable: acked reports are
+	// WAL-framed, Checkpoint/Close persist state, and Start recovers it.
+	DataDir string
+	// WAL overrides the log options when durable; nil uses DefaultOptions
+	// with SyncAlways, so a Kill loses nothing that was acked.
+	WAL *wal.Options
 }
 
 // Backend is one in-process mini itscs-serve.
 type Backend struct {
 	engine *pipeline.Engine
+	ledger *reputation.Ledger
+	log    *wal.Log
+	dir    string
 	ingest *mcs.Server
 	http   *http.Server
 	httpLn net.Listener
@@ -49,7 +68,9 @@ type Backend struct {
 	serve  sync.WaitGroup
 }
 
-// Start boots a backend: engine, TCP ingest, HTTP sidecar.
+// Start boots a backend: engine, TCP ingest, HTTP sidecar. A durable
+// backend first recovers the newest checkpoint (shards and ledger) and
+// replays the log tail, exactly like the daemon, before listening.
 func Start(opt Options) (*Backend, error) {
 	if opt.IngestAddr == "" {
 		opt.IngestAddr = "127.0.0.1:0"
@@ -57,19 +78,60 @@ func Start(opt Options) (*Backend, error) {
 	if opt.HTTPAddr == "" {
 		opt.HTTPAddr = "127.0.0.1:0"
 	}
-	engine, err := pipeline.New(opt.Config)
+	cfg := opt.Config
+	b := &Backend{dir: opt.DataDir}
+	if opt.Reputation != nil {
+		ledger, err := reputation.New(*opt.Reputation)
+		if err != nil {
+			return nil, err
+		}
+		b.ledger = ledger
+		cfg.Gate = ledger
+		cfg.OnResult = ledger.Fold
+	}
+	if opt.DataDir != "" {
+		wopt := wal.DefaultOptions()
+		wopt.Sync = wal.SyncAlways
+		if opt.WAL != nil {
+			wopt = *opt.WAL
+		}
+		log, err := wal.Open(opt.DataDir, wopt)
+		if err != nil {
+			return nil, err
+		}
+		b.log = log
+		cfg.Log = log
+	}
+	engine, err := pipeline.New(cfg)
 	if err != nil {
+		if b.log != nil {
+			_ = b.log.Close()
+		}
 		return nil, err
 	}
-	b := &Backend{engine: engine, ingest: mcs.NewServer(engine)}
+	b.engine = engine
+	if b.log != nil {
+		if err := b.recover(); err != nil {
+			engine.Abort()
+			_ = b.log.Close()
+			return nil, err
+		}
+	}
+	b.ingest = mcs.NewServer(engine)
 	b.ready.Store(!opt.StartUnready)
 	if b.ingestAddr, err = b.ingest.Listen(opt.IngestAddr); err != nil {
 		engine.Close()
+		if b.log != nil {
+			_ = b.log.Close()
+		}
 		return nil, err
 	}
 	if b.httpLn, err = net.Listen("tcp", opt.HTTPAddr); err != nil {
 		_ = b.ingest.Close()
 		engine.Close()
+		if b.log != nil {
+			_ = b.log.Close()
+		}
 		return nil, fmt.Errorf("clustertest: http listen: %w", err)
 	}
 	b.httpAddr = b.httpLn.Addr()
@@ -86,8 +148,69 @@ func Start(opt Options) (*Backend, error) {
 	return b, nil
 }
 
+// recover restores the newest checkpoint into the engine and ledger and
+// replays the log tail, mirroring the daemon's startup.
+func (b *Backend) recover() error {
+	var fromIndex uint64
+	ck, _, err := wal.LatestCheckpoint(b.dir)
+	switch {
+	case err == nil:
+		if rerr := b.engine.Restore(ck); rerr != nil {
+			return fmt.Errorf("clustertest: restore checkpoint: %w", rerr)
+		}
+		if b.ledger != nil {
+			if rerr := b.ledger.Restore(ck.Reputation); rerr != nil {
+				return fmt.Errorf("clustertest: restore ledger: %w", rerr)
+			}
+		}
+		fromIndex = ck.LogIndex
+	case errors.Is(err, wal.ErrNoCheckpoint):
+		if b.ledger != nil {
+			if rerr := b.ledger.Restore(nil); rerr != nil {
+				return rerr
+			}
+		}
+	default:
+		return err
+	}
+	_, err = b.log.Replay(fromIndex, func(_ uint64, r mcs.Report) error {
+		_ = b.engine.Replay(r) // rejects (late, duplicate) are expected on overlap
+		return nil
+	})
+	return err
+}
+
+// Checkpoint persists the engine's shard state plus the ledger blob and
+// compacts the log behind it. Only valid on a durable backend.
+func (b *Backend) Checkpoint() error {
+	if b.log == nil {
+		return errors.New("clustertest: backend is not durable")
+	}
+	ck, err := b.engine.Checkpoint()
+	if err != nil {
+		return err
+	}
+	if b.ledger != nil {
+		if ck.Reputation, err = b.ledger.MarshalBinary(); err != nil {
+			return err
+		}
+	}
+	if _, err := wal.WriteCheckpoint(b.dir, ck); err != nil {
+		return err
+	}
+	if _, err := wal.PruneCheckpoints(b.dir, 2); err != nil {
+		return err
+	}
+	_, err = b.log.Compact(ck.LogIndex)
+	return err
+}
+
 // Engine exposes the backend's pipeline engine for direct assertions.
 func (b *Backend) Engine() *pipeline.Engine { return b.engine }
+
+// Ledger exposes the backend's trust ledger (nil unless Options.Reputation
+// was set).
+func (b *Backend) Ledger() *reputation.Ledger { return b.ledger }
 
 // IngestAddr and HTTPAddr return the bound listener addresses.
 func (b *Backend) IngestAddr() string { return b.ingestAddr.String() }
@@ -103,12 +226,14 @@ func (b *Backend) SetReady(ready bool) { b.ready.Store(ready) }
 
 // Close shuts the backend down gracefully: the transport first so no
 // report arrives after the engine stops, then the engine (draining every
-// open window through detection).
+// open window through detection). A durable backend writes a final
+// checkpoint so a restart replays nothing.
 func (b *Backend) Close() error { return b.stop(true) }
 
 // Kill shuts the backend down abruptly — listeners torn down, engine
-// aborted with queued windows discarded — the observable shape of a
-// crashed process.
+// aborted with queued windows discarded, no final checkpoint — the
+// observable shape of a crashed process. Under SyncAlways everything acked
+// is already on disk, so a restart recovers exactly the acked prefix.
 func (b *Backend) Kill() error { return b.stop(false) }
 
 func (b *Backend) stop(graceful bool) error {
@@ -125,8 +250,18 @@ func (b *Backend) stop(graceful bool) error {
 	}
 	if graceful {
 		b.engine.Close()
+		if b.log != nil {
+			if ckErr := b.Checkpoint(); err == nil {
+				err = ckErr
+			}
+		}
 	} else {
 		b.engine.Abort()
+	}
+	if b.log != nil {
+		if lerr := b.log.Close(); err == nil {
+			err = lerr
+		}
 	}
 	b.serve.Wait()
 	return err
@@ -160,6 +295,42 @@ func (b *Backend) mux() *http.ServeMux {
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, b.engine.Stats())
+	})
+	mux.HandleFunc("GET /reputation", func(w http.ResponseWriter, r *http.Request) {
+		if b.ledger == nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": "reputation ledger disabled"})
+			return
+		}
+		writeJSON(w, http.StatusOK, b.ledger.Snapshot())
+	})
+	mux.HandleFunc("GET /reputation/{fleet}", func(w http.ResponseWriter, r *http.Request) {
+		if b.ledger == nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": "reputation ledger disabled"})
+			return
+		}
+		fs, ok := b.ledger.Fleet(r.PathValue("fleet"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown fleet: " + r.PathValue("fleet")})
+			return
+		}
+		writeJSON(w, http.StatusOK, fs)
+	})
+	mux.HandleFunc("GET /reputation/{fleet}/{participant}", func(w http.ResponseWriter, r *http.Request) {
+		if b.ledger == nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": "reputation ledger disabled"})
+			return
+		}
+		part, err := strconv.Atoi(r.PathValue("participant"))
+		if err != nil || part < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": "participant must be a non-negative integer"})
+			return
+		}
+		ps, ok := b.ledger.Participant(r.PathValue("fleet"), part)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": "no trust row"})
+			return
+		}
+		writeJSON(w, http.StatusOK, ps)
 	})
 	return mux
 }

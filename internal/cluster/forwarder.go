@@ -34,14 +34,19 @@ type ForwarderOptions struct {
 }
 
 // ForwarderStats snapshots the forwarding data plane. Forwarded +
-// Unroutable + NonFinite equals the reports offered to Ingest.
+// Unroutable + NonFinite + InvalidIdentity equals the reports offered to
+// Ingest.
 type ForwarderStats struct {
 	// Forwarded counts reports accepted into a backend client's queue;
 	// Unroutable those refused because the owner was ejected; NonFinite
-	// those refused at the door for NaN/Inf coordinates.
-	Forwarded  uint64 `json:"forwarded"`
-	Unroutable uint64 `json:"unroutable"`
-	NonFinite  uint64 `json:"non_finite"`
+	// those refused at the door for NaN/Inf coordinates; InvalidIdentity
+	// those refused for an empty fleet or negative participant — an empty
+	// fleet name would otherwise ring-hash to some arbitrary owner's
+	// default fleet, unreachable by any scatter-gather query.
+	Forwarded       uint64 `json:"forwarded"`
+	Unroutable      uint64 `json:"unroutable"`
+	NonFinite       uint64 `json:"non_finite"`
+	InvalidIdentity uint64 `json:"invalid_identity"`
 	// Backends maps backend name to its transport client's counters.
 	Backends map[string]mcs.ClientStats `json:"backends"`
 }
@@ -60,9 +65,10 @@ type Forwarder struct {
 	log     *slog.Logger
 	clients map[string]*mcs.Client
 
-	forwarded  atomic.Uint64
-	unroutable atomic.Uint64
-	nonFinite  atomic.Uint64
+	forwarded       atomic.Uint64
+	unroutable      atomic.Uint64
+	nonFinite       atomic.Uint64
+	invalidIdentity atomic.Uint64
 }
 
 // NewForwarder builds the data plane over the backend list, populating the
@@ -95,6 +101,10 @@ func NewForwarder(backends []Backend, ring *Ring, opt ForwarderOptions) *Forward
 func (f *Forwarder) Ingest(r mcs.Report) error {
 	if err := r.CheckFinite(); err != nil {
 		f.nonFinite.Add(1)
+		return err
+	}
+	if err := r.CheckIdentity(); err != nil {
+		f.invalidIdentity.Add(1)
 		return err
 	}
 	owner, ok := f.ring.Owner(r.Fleet)
@@ -148,10 +158,11 @@ func (f *Forwarder) Close() error {
 // by backend name (iterate sorted for stable output: see SortedBackends).
 func (f *Forwarder) Stats() ForwarderStats {
 	s := ForwarderStats{
-		Forwarded:  f.forwarded.Load(),
-		Unroutable: f.unroutable.Load(),
-		NonFinite:  f.nonFinite.Load(),
-		Backends:   make(map[string]mcs.ClientStats, len(f.clients)),
+		Forwarded:       f.forwarded.Load(),
+		Unroutable:      f.unroutable.Load(),
+		NonFinite:       f.nonFinite.Load(),
+		InvalidIdentity: f.invalidIdentity.Load(),
+		Backends:        make(map[string]mcs.ClientStats, len(f.clients)),
 	}
 	for name, cl := range f.clients {
 		s.Backends[name] = cl.Stats()

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"itscs/internal/pipeline"
+	"itscs/internal/reputation"
 )
 
 // Query is the cluster's read path. Fleet-scoped reads go to the one
@@ -54,6 +55,25 @@ type ProxyResponse struct {
 // ErrNoBackend when the owner is ejected: the state exists only there, so
 // no other backend can answer.
 func (q *Query) Result(ctx context.Context, fleet string) (*ProxyResponse, error) {
+	return q.proxyToOwner(ctx, fleet, "/results/"+fleet)
+}
+
+// ReputationFleet proxies GET /reputation/{fleet} to the fleet's owner:
+// fleets shard whole, so the owner's ledger is the authoritative (and
+// only) trust state for the fleet.
+func (q *Query) ReputationFleet(ctx context.Context, fleet string) (*ProxyResponse, error) {
+	return q.proxyToOwner(ctx, fleet, "/reputation/"+fleet)
+}
+
+// ReputationParticipant proxies GET /reputation/{fleet}/{participant} to
+// the fleet's owner.
+func (q *Query) ReputationParticipant(ctx context.Context, fleet, participant string) (*ProxyResponse, error) {
+	return q.proxyToOwner(ctx, fleet, "/reputation/"+fleet+"/"+participant)
+}
+
+// proxyToOwner relays one fleet-scoped GET to the fleet's ring owner,
+// failing with ErrNoBackend when the owner is ejected.
+func (q *Query) proxyToOwner(ctx context.Context, fleet, path string) (*ProxyResponse, error) {
 	owner, ok := q.ring.Owner(fleet)
 	if !ok {
 		return nil, fmt.Errorf("%w: empty ring", ErrNoBackend)
@@ -61,7 +81,7 @@ func (q *Query) Result(ctx context.Context, fleet string) (*ProxyResponse, error
 	if !q.ready(owner) {
 		return nil, fmt.Errorf("%w: fleet %q owner %s ejected", ErrNoBackend, fleet, owner)
 	}
-	return q.proxy(ctx, owner, "/results/"+fleet)
+	return q.proxy(ctx, owner, path)
 }
 
 // proxy relays one GET to one backend.
@@ -177,6 +197,83 @@ func (q *Query) Metrics(ctx context.Context) ClusterMetrics {
 	return out
 }
 
+// ClusterReputation is the merged answer to GET /reputation across the
+// cluster: the union of every backend's fleet ledgers (fleets shard whole,
+// so snapshots union without key collisions) plus the summed aggregate
+// counters.
+type ClusterReputation struct {
+	Fleets []reputation.FleetSnapshot `json:"fleets"`
+	Stats  reputation.LedgerStats     `json:"stats"`
+	// Errors maps backends that could not answer (ejected, unreachable, or
+	// running with the ledger disabled) to the reason.
+	Errors map[string]string `json:"errors,omitempty"`
+}
+
+// Reputation fans GET /reputation out to every ready backend and merges
+// the ledgers. The merge is consistent because each fleet's trust state
+// lives wholly on its ring owner — no row is ever split or double-counted.
+func (q *Query) Reputation(ctx context.Context) ClusterReputation {
+	out := ClusterReputation{
+		Fleets: []reputation.FleetSnapshot{},
+		Stats:  reputation.LedgerStats{States: map[string]int{}},
+	}
+	for _, r := range q.fanout(ctx, "/reputation", true) {
+		if r.err != nil {
+			out.setErr(r.backend, r.err.Error())
+			continue
+		}
+		var snap reputation.Snapshot
+		if err := json.Unmarshal(r.body, &snap); err != nil {
+			out.setErr(r.backend, "bad /reputation payload: "+err.Error())
+			continue
+		}
+		out.Fleets = append(out.Fleets, snap.Fleets...)
+		mergeLedgerStats(&out.Stats, snap.Stats)
+	}
+	sort.Slice(out.Fleets, func(i, j int) bool { return out.Fleets[i].Fleet < out.Fleets[j].Fleet })
+	return out
+}
+
+func (cr *ClusterReputation) setErr(backend, msg string) {
+	if cr.Errors == nil {
+		cr.Errors = make(map[string]string)
+	}
+	cr.Errors[backend] = msg
+}
+
+// mergeLedgerStats sums src into dst: scalar counters add, the per-state
+// census adds per state, and transition edges merge by (from, to).
+func mergeLedgerStats(dst *reputation.LedgerStats, src reputation.LedgerStats) {
+	dst.Fleets += src.Fleets
+	dst.Folded += src.Folded
+	dst.Skipped += src.Skipped
+	for state, n := range src.States {
+		if dst.States == nil {
+			dst.States = make(map[string]int)
+		}
+		dst.States[state] += n
+	}
+	for _, tr := range src.Transitions {
+		merged := false
+		for i := range dst.Transitions {
+			if dst.Transitions[i].From == tr.From && dst.Transitions[i].To == tr.To {
+				dst.Transitions[i].Count += tr.Count
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			dst.Transitions = append(dst.Transitions, tr)
+		}
+	}
+	sort.Slice(dst.Transitions, func(i, j int) bool {
+		if dst.Transitions[i].From != dst.Transitions[j].From {
+			return dst.Transitions[i].From < dst.Transitions[j].From
+		}
+		return dst.Transitions[i].To < dst.Transitions[j].To
+	})
+}
+
 type fanResult struct {
 	backend string
 	body    []byte
@@ -223,6 +320,9 @@ func MergeStats(dst *pipeline.Stats, src pipeline.Stats) {
 	dst.Late += src.Late
 	dst.Duplicates += src.Duplicates
 	dst.NonFinite += src.NonFinite
+	dst.AdmittedClean += src.AdmittedClean
+	dst.TaggedQuarantined += src.TaggedQuarantined
+	dst.TaggedProbation += src.TaggedProbation
 	dst.WindowsClosed += src.WindowsClosed
 	dst.WindowsEmpty += src.WindowsEmpty
 	dst.WindowsSkipped += src.WindowsSkipped

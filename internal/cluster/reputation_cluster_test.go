@@ -1,0 +1,328 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"itscs/internal/cluster"
+	"itscs/internal/cluster/clustertest"
+	"itscs/internal/mcs"
+	"itscs/internal/reputation"
+	"itscs/internal/sim"
+)
+
+// startRepBackends boots n backends with a trust ledger wired into each
+// engine, sharing the deterministic test engine shape.
+func startRepBackends(t *testing.T, n int) []*clustertest.Backend {
+	t.Helper()
+	rep := reputation.DefaultConfig()
+	backends := make([]*clustertest.Backend, n)
+	for i := range backends {
+		b, err := clustertest.Start(clustertest.Options{Config: testConfig(), Reputation: &rep})
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends[i] = b
+		t.Cleanup(func() { _ = b.Close() })
+	}
+	return backends
+}
+
+// waitQuiet blocks until every backend has pushed each closed window all
+// the way through its worker — the point at which every ledger fold that
+// will happen has happened.
+func waitQuiet(t *testing.T, backends []*clustertest.Backend) {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	for {
+		quiet := true
+		for _, b := range backends {
+			st := b.Engine().Stats()
+			if st.WindowsClosed != st.WindowsEmpty+st.WindowsDropped+st.WindowsProcessed+st.WindowsFailed {
+				quiet = false
+			}
+		}
+		if quiet {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("backends did not drain their window queues")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestReputationScatterGatherParity pins the router's merged reputation
+// view to the backends' own ledgers: because fleets shard whole, the
+// scatter-gather union must equal the per-owner truth exactly — same fleet
+// snapshots, same census, same counters — and the fleet- and
+// participant-scoped proxies must answer from the ring owner.
+func TestReputationScatterGatherParity(t *testing.T) {
+	backends := startRepBackends(t, 3)
+	ring := cluster.NewRing(64)
+	fwd := cluster.NewForwarder(specs(backends), ring, cluster.ForwarderOptions{
+		Client: mcs.ClientOptions{QueueDepth: 8192},
+	})
+	defer fwd.Close()
+
+	fleets := make([]string, 5)
+	offered := 0
+	for i := range fleets {
+		fleets[i] = fmt.Sprintf("rep-%d", i)
+		w, err := sim.BuildWorkload(fleets[i], sim.Scenario{Seed: int64(500 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range w.Reports {
+			offered++
+			if err := fwd.Ingest(r); err != nil {
+				t.Fatalf("ingest for %s: %v", r.Fleet, err)
+			}
+		}
+	}
+	// Reports without a routable identity are refused at the router's door —
+	// an empty fleet would ring-hash somewhere arbitrary — and counted.
+	for _, r := range []mcs.Report{
+		{Fleet: "", Participant: 0, Slot: 0, X: 1, Y: 1},
+		{Fleet: "rep-0", Participant: -1, Slot: 0, X: 1, Y: 1},
+	} {
+		offered++
+		if err := fwd.Ingest(r); err == nil {
+			t.Fatalf("invalid identity %+v forwarded", r)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := fwd.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fst := fwd.Stats()
+	if fst.InvalidIdentity != 2 {
+		t.Fatalf("invalid_identity = %d, want 2", fst.InvalidIdentity)
+	}
+	if fst.Forwarded+fst.Unroutable+fst.NonFinite+fst.InvalidIdentity != uint64(offered) {
+		t.Fatalf("conservation broken: %d+%d+%d+%d != %d offered",
+			fst.Forwarded, fst.Unroutable, fst.NonFinite, fst.InvalidIdentity, offered)
+	}
+
+	// Drain: close every open window and let the workers fold them.
+	for _, b := range backends {
+		for _, fleet := range b.Engine().Fleets() {
+			if err := b.Engine().Flush(fleet); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitQuiet(t, backends)
+
+	// The per-owner truth: each fleet's snapshot from the ledger that owns it.
+	want := map[string]reputation.FleetSnapshot{}
+	var wantStats reputation.LedgerStats
+	wantStates := map[string]int{}
+	for _, b := range backends {
+		snap := b.Ledger().Snapshot()
+		for _, fs := range snap.Fleets {
+			if _, dup := want[fs.Fleet]; dup {
+				t.Fatalf("fleet %s present on two backends — sharding is broken", fs.Fleet)
+			}
+			want[fs.Fleet] = fs
+		}
+		wantStats.Fleets += snap.Stats.Fleets
+		wantStats.Folded += snap.Stats.Folded
+		wantStats.Skipped += snap.Stats.Skipped
+		for state, n := range snap.Stats.States {
+			wantStates[state] += n
+		}
+	}
+	if wantStats.Folded == 0 {
+		t.Fatal("no windows folded anywhere — the parity check would be vacuous")
+	}
+
+	q := cluster.NewQuery(specs(backends), ring, nil, nil)
+	got := q.Reputation(ctx)
+	if len(got.Errors) != 0 {
+		t.Fatalf("scatter-gather errors: %v", got.Errors)
+	}
+	if len(got.Fleets) != len(want) {
+		t.Fatalf("merged %d fleets, want %d", len(got.Fleets), len(want))
+	}
+	for _, fs := range got.Fleets {
+		if !reflect.DeepEqual(fs, want[fs.Fleet]) {
+			t.Errorf("merged fleet %s diverges from its owner's ledger:\n got %+v\nwant %+v",
+				fs.Fleet, fs, want[fs.Fleet])
+		}
+	}
+	if got.Stats.Fleets != wantStats.Fleets || got.Stats.Folded != wantStats.Folded ||
+		got.Stats.Skipped != wantStats.Skipped {
+		t.Errorf("merged stats = %+v, want fleets %d folded %d skipped %d",
+			got.Stats, wantStats.Fleets, wantStats.Folded, wantStats.Skipped)
+	}
+	for state, n := range wantStates {
+		if got.Stats.States[state] != n {
+			t.Errorf("merged census %s = %d, want %d", state, got.Stats.States[state], n)
+		}
+	}
+
+	// Fleet- and participant-scoped reads proxy to the ring owner and match
+	// the owner's ledger byte for byte.
+	for _, fleet := range fleets {
+		owner, ok := fwd.Owner(fleet)
+		if !ok {
+			t.Fatalf("no owner for %s", fleet)
+		}
+		pr, err := q.ReputationFleet(ctx, fleet)
+		if err != nil || pr.Status != http.StatusOK {
+			t.Fatalf("ReputationFleet(%s): status %d err %v", fleet, pr.Status, err)
+		}
+		if pr.Backend != owner {
+			t.Errorf("ReputationFleet(%s) answered by %s, want owner %s", fleet, pr.Backend, owner)
+		}
+		var fs reputation.FleetSnapshot
+		if err := json.Unmarshal(pr.Body, &fs); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fs, want[fleet]) {
+			t.Errorf("proxied fleet %s diverges from the owner's ledger", fleet)
+		}
+	}
+	pr, err := q.ReputationParticipant(ctx, "rep-0", "0")
+	if err != nil || pr.Status != http.StatusOK {
+		t.Fatalf("ReputationParticipant: status %d err %v", pr.Status, err)
+	}
+	var ps reputation.ParticipantSnapshot
+	if err := json.Unmarshal(pr.Body, &ps); err != nil {
+		t.Fatal(err)
+	}
+	if ps.Participant != 0 || ps.Windows == 0 {
+		t.Errorf("proxied participant snapshot = %+v", ps)
+	}
+
+	// Admission conservation holds summed across the cluster: every ingested
+	// report was admitted clean or tagged, never dropped.
+	var ingested, clean, tq, tp uint64
+	for _, b := range backends {
+		st := b.Engine().Stats()
+		ingested += st.Ingested
+		clean += st.AdmittedClean
+		tq += st.TaggedQuarantined
+		tp += st.TaggedProbation
+	}
+	if clean+tq+tp != ingested {
+		t.Errorf("gate counters do not conserve: %d+%d+%d != %d ingested", clean, tq, tp, ingested)
+	}
+}
+
+// TestChaosReputationLedgerRecovery is the reputation durability drill: a
+// durable backend is killed mid-stream (no final checkpoint — its
+// in-memory ledger dies with it), restarted on the same directory, and fed
+// the whole stream again at-least-once. After a graceful close its ledger
+// must be bit-identical to a never-crashed golden backend's: the
+// checkpointed blob plus deterministic WAL-replay re-folds (with the seq
+// frontier absorbing overlap) reconstruct every trust row exactly.
+func TestChaosReputationLedgerRecovery(t *testing.T) {
+	rep := reputation.DefaultConfig()
+	sc := sim.Scenario{Seed: 42}
+	w, err := sim.BuildWorkload("ledger", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Golden: the same stream through an undamaged reputation backend.
+	golden, err := clustertest.Start(clustertest.Options{
+		Config: sim.EngineConfig(sc), Reputation: &rep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acked, err := mcs.SendReports(ctx, golden.IngestAddr(), w.Reports); err != nil || acked != len(w.Reports) {
+		t.Fatalf("golden acked %d of %d, err %v", acked, len(w.Reports), err)
+	}
+	if err := golden.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := golden.Ledger().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden.Ledger().Stats().Folded == 0 {
+		t.Fatal("golden run folded nothing — the drill would be vacuous")
+	}
+
+	// Life 1: a third of the stream, a mid-stream checkpoint (the ledger
+	// blob rides along), another third, then a kill — abrupt, no checkpoint.
+	dir := t.TempDir()
+	third := len(w.Reports) / 3
+	b1, err := clustertest.Start(clustertest.Options{
+		Config: sim.EngineConfig(sc), Reputation: &rep, DataDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acked, err := mcs.SendReports(ctx, b1.IngestAddr(), w.Reports[:third]); err != nil || acked != third {
+		t.Fatalf("life-1 phase-1 acked %d of %d, err %v", acked, third, err)
+	}
+	waitQuiet(t, []*clustertest.Backend{b1})
+	if err := b1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if acked, err := mcs.SendReports(ctx, b1.IngestAddr(), w.Reports[third:2*third]); err != nil || acked != third {
+		t.Fatalf("life-1 phase-2 acked %d of %d, err %v", acked, third, err)
+	}
+	if err := b1.Kill(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Life 2: recovery restores the checkpointed ledger and re-folds the
+	// replayed tail; the client re-delivers the whole stream (at least once —
+	// the engine's late/duplicate rejection nacks the overlap).
+	b2, err := clustertest.Start(clustertest.Options{
+		Config: sim.EngineConfig(sc), Reputation: &rep, DataDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked, err := mcs.SendReports(ctx, b2.IngestAddr(), w.Reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acked < len(w.Reports)-2*third {
+		t.Fatalf("life-2 acked %d, want at least the %d undelivered reports",
+			acked, len(w.Reports)-2*third)
+	}
+	if err := b2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b2.Ledger().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("recovered ledger differs from golden:\nwant %d bytes\ngot  %d bytes", len(want), len(got))
+	}
+
+	// Life 3: the graceful close wrote a final checkpoint; a fresh start
+	// restores the identical ledger without replaying anything.
+	b3, err := clustertest.Start(clustertest.Options{
+		Config: sim.EngineConfig(sc), Reputation: &rep, DataDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := b3.Ledger().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, restored) {
+		t.Fatal("ledger restored from the final checkpoint differs from golden")
+	}
+	if err := b3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

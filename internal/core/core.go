@@ -157,6 +157,12 @@ type Output struct {
 	// summed over both axes and all outer rounds — the dominant cost term,
 	// and the number a warm start is supposed to shrink.
 	Sweeps int
+	// RowFlips counts, per participant row, the detection entries the
+	// CHECK phases flipped (cleared or raised) across all outer rounds. A
+	// high flip count marks a participant whose data sat in the ambiguous
+	// band between the clear and raise thresholds — a reliability signal
+	// the reputation layer folds into its trust score.
+	RowFlips []int
 }
 
 // Run executes I(TS,CS) on the input. Every CORRECT round cold-starts its
@@ -204,7 +210,7 @@ func run(cfg Config, in Input, warm *WarmState, carry bool) (*Output, error) {
 		return nil, fmt.Errorf("core: union detections: %w", err)
 	}
 
-	out := &Output{}
+	out := &Output{RowFlips: make([]int, n)}
 	out.DetectDuration += time.Since(phaseStart)
 	// Per-axis warm factors: seeded from the caller's state, then (in the
 	// carry mode of RunWarm) refreshed with each round's result.
@@ -264,6 +270,7 @@ func run(cfg Config, in Input, warm *WarmState, carry bool) (*Output, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: union checks: %w", err)
 		}
+		accumulateRowFlips(out.RowFlips, d, next)
 
 		// The paper's convergence criterion is "D never changes again":
 		// compare the post-Check detection against the previous round's.
@@ -407,6 +414,22 @@ func check(s, sHat, d, e *mat.Dense, low, high float64) *mat.Dense {
 		}
 	}
 	return out
+}
+
+// accumulateRowFlips adds the per-row count of entries CHECK flipped
+// (pre-check detection vs post-check) into acc. Check only touches
+// observed cells, so the diff is automatically restricted to them.
+func accumulateRowFlips(acc []int, pre, post *mat.Dense) {
+	n, t := pre.Dims()
+	for i := 0; i < n; i++ {
+		pr := pre.RowView(i)
+		qr := post.RowView(i)
+		for j := 0; j < t; j++ {
+			if pr[j] != qr[j] {
+				acc[i]++
+			}
+		}
+	}
 }
 
 // diffCount counts elements that differ between two binary matrices.

@@ -14,6 +14,7 @@ package corrupt
 
 import (
 	"fmt"
+	"sort"
 
 	"itscs/internal/mat"
 	"itscs/internal/stat"
@@ -118,6 +119,109 @@ func Apply(p Plan, x, y *mat.Dense) (*Result, error) {
 // drawBias samples ε: a kilometers-scale offset with random sign.
 func drawBias(rng *stat.RNG, p Plan) float64 {
 	return rng.Sign() * rng.Uniform(p.BiasMinMeters, p.BiasMaxMeters)
+}
+
+// ParticipantPlan describes corruption concentrated in specific
+// participants rather than spread uniformly over cells: Rates[i] is the
+// fraction of participant i's surviving (non-missing) cells that carry a
+// bias. Participants absent from Rates stay clean. This is the generation
+// model behind the reputation evaluation, where fault mass follows the
+// device, not the cell.
+type ParticipantPlan struct {
+	// MissingRatio is α, drawn uniformly over all cells as in Plan.
+	MissingRatio float64
+	// Rates maps participant row → per-cell fault probability in [0,1).
+	Rates map[int]float64
+	// BiasMinMeters and BiasMaxMeters bound |ε| as in Plan.
+	BiasMinMeters float64
+	BiasMaxMeters float64
+	// Seed drives the deterministic draw.
+	Seed int64
+}
+
+// DefaultParticipantPlan mirrors DefaultPlan's paper-calibrated bias
+// magnitudes with no participants selected.
+func DefaultParticipantPlan() ParticipantPlan {
+	return ParticipantPlan{BiasMinMeters: 2_000, BiasMaxMeters: 15_000, Seed: 1}
+}
+
+// Validate reports plan errors.
+func (p ParticipantPlan) Validate() error {
+	switch {
+	case p.MissingRatio < 0 || p.MissingRatio >= 1:
+		return fmt.Errorf("corrupt: missing ratio %v outside [0,1)", p.MissingRatio)
+	case p.BiasMinMeters <= 0 || p.BiasMaxMeters < p.BiasMinMeters:
+		return fmt.Errorf("corrupt: bad bias bounds [%v,%v]", p.BiasMinMeters, p.BiasMaxMeters)
+	}
+	for i, r := range p.Rates {
+		if i < 0 {
+			return fmt.Errorf("corrupt: negative participant row %d", i)
+		}
+		if r < 0 || r >= 1 {
+			return fmt.Errorf("corrupt: participant %d fault rate %v outside [0,1)", i, r)
+		}
+	}
+	return nil
+}
+
+// ApplyParticipants draws missingness uniformly, then injects faults into
+// the selected participants' rows at their individual rates. The returned
+// Faulty mask is the per-cell ground truth; summed per row it gives each
+// participant's realized fault count.
+func ApplyParticipants(p ParticipantPlan, x, y *mat.Dense) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n, t := x.Dims()
+	yn, yt := y.Dims()
+	if yn != n || yt != t {
+		return nil, fmt.Errorf("corrupt: X %dx%d and Y %dx%d differ", n, t, yn, yt)
+	}
+	for i := range p.Rates {
+		if i >= n {
+			return nil, fmt.Errorf("corrupt: participant row %d outside fleet of %d", i, n)
+		}
+	}
+	rng := stat.NewRNG(p.Seed)
+	res := &Result{
+		SX:        x.Clone(),
+		SY:        y.Clone(),
+		Existence: mat.Ones(n, t),
+		Faulty:    mat.New(n, t),
+	}
+	total := n * t
+	nMissing := int(p.MissingRatio * float64(total))
+	for _, cell := range rng.Child("cells").Perm(total)[:nMissing] {
+		i, j := cell/t, cell%t
+		res.Existence.Set(i, j, 0)
+		res.SX.Set(i, j, 0)
+		res.SY.Set(i, j, 0)
+	}
+	biasRNG := rng.Child("bias")
+	// Rows are corrupted in ascending order so the draw is deterministic
+	// regardless of map iteration.
+	rows := make([]int, 0, len(p.Rates))
+	for i := range p.Rates {
+		rows = append(rows, i)
+	}
+	sort.Ints(rows)
+	for _, i := range rows {
+		rowRNG := rng.Child(fmt.Sprintf("row-%d", i))
+		var alive []int
+		for j := 0; j < t; j++ {
+			if res.Existence.At(i, j) == 1 {
+				alive = append(alive, j)
+			}
+		}
+		nBad := int(p.Rates[i] * float64(len(alive)))
+		for _, k := range rowRNG.Perm(len(alive))[:nBad] {
+			j := alive[k]
+			res.Faulty.Set(i, j, 1)
+			res.SX.Add(i, j, drawBias(biasRNG, Plan{BiasMinMeters: p.BiasMinMeters, BiasMaxMeters: p.BiasMaxMeters}))
+			res.SY.Add(i, j, drawBias(biasRNG, Plan{BiasMinMeters: p.BiasMinMeters, BiasMaxMeters: p.BiasMaxMeters}))
+		}
+	}
+	return res, nil
 }
 
 // CorruptVelocity returns copies of vx, vy where a fraction gamma of cells

@@ -27,7 +27,8 @@ import (
 type Report struct {
 	// Fleet names the shard the report belongs to. The batch Collector
 	// ignores it; the streaming pipeline routes on it. Empty selects the
-	// receiver's default fleet.
+	// receiver's default fleet for embedded sinks, but the network front
+	// doors (itscs-serve, itscs-router) refuse it — see CheckIdentity.
 	Fleet string `json:"fleet,omitempty"`
 	// Participant is the uploader's dense identifier in [0, participants).
 	Participant int `json:"participant"`
@@ -68,6 +69,25 @@ func (r Report) CheckFinite() error {
 			return fmt.Errorf("%w: participant %d slot %d (x=%v y=%v vx=%v vy=%v)",
 				ErrNonFinite, r.Participant, r.Slot, r.X, r.Y, r.VX, r.VY)
 		}
+	}
+	return nil
+}
+
+// ErrInvalidIdentity is returned for a report whose identity fields cannot
+// route or be attributed: an empty fleet name or a negative participant id.
+// Such rows would either land in an implicit default fleet (unroutable in a
+// sharded cluster, where fleet names drive placement) or credit no
+// participant at all (invisible to the reputation ledger). The network
+// front doors — the itscs-serve ingest listener and the itscs-router
+// forwarder — refuse them with a counted invalid_identity rejection;
+// embedded single-fleet sinks may still choose a default fleet themselves.
+var ErrInvalidIdentity = errors.New("mcs: invalid report identity")
+
+// CheckIdentity errors unless the report names a routable, attributable
+// identity: a non-empty fleet and a non-negative participant.
+func (r Report) CheckIdentity() error {
+	if r.Fleet == "" || r.Participant < 0 {
+		return fmt.Errorf("%w: fleet %q participant %d", ErrInvalidIdentity, r.Fleet, r.Participant)
 	}
 	return nil
 }

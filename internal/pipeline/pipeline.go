@@ -73,6 +73,34 @@ type ReportLog interface {
 	AppendedIndex() uint64
 }
 
+// Admission is an AdmissionGate's verdict for one accepted report.
+type Admission int
+
+const (
+	// AdmitClean is the default verdict: the submitter is in good standing
+	// (or no gate is configured).
+	AdmitClean Admission = iota
+	// AdmitQuarantined tags a report from a quarantined participant. The
+	// report is still ingested — its cells keep feeding detection, which is
+	// the only path back to trust — but the tag count lets operators weigh
+	// how much quarantined data a window saw.
+	AdmitQuarantined
+	// AdmitProbation tags a report from a participant on probation
+	// (readmitted from quarantine but not yet back to trusted).
+	AdmitProbation
+)
+
+// AdmissionGate classifies each accepted report by its submitter's current
+// reputation standing. The gate tags, it never drops: rejecting a
+// quarantined participant's uploads would freeze their trust score at its
+// low-water mark with no evidence to recover on, and would silently starve
+// the window of observations. Implementations must be safe for concurrent
+// use and cheap — Admit runs on the ingest hot path inside the engine's
+// ingestion gate. The reputation.Ledger is the production implementation.
+type AdmissionGate interface {
+	Admit(fleet string, participant int) Admission
+}
+
 // maxCatchUpCloses bounds how many windows a single report may close before
 // the shard fast-forwards past the gap, so one far-future slot cannot stall
 // its ingest goroutine snapshotting hundreds of (mostly empty) windows.
@@ -110,6 +138,19 @@ type Config struct {
 	// ingestion gate, so it must be cheap and must not call back into the
 	// engine (signal a channel instead).
 	OnWindowClose func(totalClosed uint64)
+	// OnResult, when set, receives every completed WindowResult after the
+	// fleet's warm state and latest result have been updated, outside all
+	// engine locks and before the window is counted under
+	// Stats.WindowsProcessed — so a drain that waits on that counter
+	// observes every delivery. It runs on worker goroutines: it must be
+	// cheap and must not call back into the engine. The reputation ledger
+	// uses it to fold each window's verdicts into per-participant trust.
+	OnResult func(*WindowResult)
+	// Gate, when set, classifies each accepted report's submitter at ingest
+	// time; the verdict only moves counters (see Admission — the gate tags,
+	// it never refuses). Queried after all rejection checks, so tagged
+	// counts partition Stats.Ingested exactly.
+	Gate AdmissionGate
 	// Obs, when set, receives window lifecycle events: a trace span for
 	// every processed window, plus drop and failure notifications that
 	// would otherwise only move counters. Callbacks run on engine
@@ -377,6 +418,18 @@ func (e *Engine) ingest(r mcs.Report, replay bool) error {
 		return err
 	}
 	e.c.ingested.Add(1)
+	if e.cfg.Gate == nil {
+		e.c.admittedClean.Add(1)
+	} else {
+		switch e.cfg.Gate.Admit(r.Fleet, r.Participant) {
+		case AdmitQuarantined:
+			e.c.taggedQuarantined.Add(1)
+		case AdmitProbation:
+			e.c.taggedProbation.Add(1)
+		default:
+			e.c.admittedClean.Add(1)
+		}
+	}
 	if replay {
 		e.c.replayed.Add(1)
 	}
@@ -678,23 +731,26 @@ func (e *Engine) Fleets() []string {
 // Stats snapshots the engine's instrumentation.
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		Ingested:         e.c.ingested.Load(),
-		Replayed:         e.c.replayed.Load(),
-		Rejected:         e.c.rejected.Load(),
-		Late:             e.c.late.Load(),
-		Duplicates:       e.c.duplicates.Load(),
-		NonFinite:        e.c.nonFinite.Load(),
-		WindowsClosed:    e.c.windowsClosed.Load(),
-		WindowsEmpty:     e.c.windowsEmpty.Load(),
-		WindowsSkipped:   e.c.windowsSkipped.Load(),
-		WindowsDropped:   e.c.windowsDropped.Load(),
-		WindowsProcessed: e.c.windowsDone.Load(),
-		WindowsFailed:    e.c.windowsFailed.Load(),
-		WarmStarts:       e.c.warmStarts.Load(),
-		ColdStarts:       e.c.coldStarts.Load(),
-		SubscriberDrops:  e.c.subscriberDrops.Load(),
-		QueueDepth:       len(e.queue),
-		QueueCapacity:    cap(e.queue),
+		Ingested:          e.c.ingested.Load(),
+		AdmittedClean:     e.c.admittedClean.Load(),
+		TaggedQuarantined: e.c.taggedQuarantined.Load(),
+		TaggedProbation:   e.c.taggedProbation.Load(),
+		Replayed:          e.c.replayed.Load(),
+		Rejected:          e.c.rejected.Load(),
+		Late:              e.c.late.Load(),
+		Duplicates:        e.c.duplicates.Load(),
+		NonFinite:         e.c.nonFinite.Load(),
+		WindowsClosed:     e.c.windowsClosed.Load(),
+		WindowsEmpty:      e.c.windowsEmpty.Load(),
+		WindowsSkipped:    e.c.windowsSkipped.Load(),
+		WindowsDropped:    e.c.windowsDropped.Load(),
+		WindowsProcessed:  e.c.windowsDone.Load(),
+		WindowsFailed:     e.c.windowsFailed.Load(),
+		WarmStarts:        e.c.warmStarts.Load(),
+		ColdStarts:        e.c.coldStarts.Load(),
+		SubscriberDrops:   e.c.subscriberDrops.Load(),
+		QueueDepth:        len(e.queue),
+		QueueCapacity:     cap(e.queue),
 		PhaseLatency: map[string]HistogramSnapshot{
 			"detect":  e.hist.detect.Snapshot(),
 			"correct": e.hist.correct.Snapshot(),
@@ -985,6 +1041,9 @@ func (e *Engine) process(j job) {
 	}
 	j.sh.mu.Unlock()
 
+	if e.cfg.OnResult != nil {
+		e.cfg.OnResult(res)
+	}
 	e.c.windowsDone.Add(1)
 	e.publish(res)
 }

@@ -15,21 +15,24 @@ type HistogramSnapshot = metrics.HistogramSnapshot
 
 // counters aggregates the engine's monotonic event counts.
 type counters struct {
-	ingested        atomic.Uint64
-	replayed        atomic.Uint64
-	rejected        atomic.Uint64
-	late            atomic.Uint64
-	duplicates      atomic.Uint64
-	nonFinite       atomic.Uint64
-	windowsClosed   atomic.Uint64
-	windowsEmpty    atomic.Uint64
-	windowsSkipped  atomic.Uint64
-	windowsDropped  atomic.Uint64
-	windowsDone     atomic.Uint64
-	windowsFailed   atomic.Uint64
-	warmStarts      atomic.Uint64
-	coldStarts      atomic.Uint64
-	subscriberDrops atomic.Uint64
+	ingested          atomic.Uint64
+	admittedClean     atomic.Uint64
+	taggedQuarantined atomic.Uint64
+	taggedProbation   atomic.Uint64
+	replayed          atomic.Uint64
+	rejected          atomic.Uint64
+	late              atomic.Uint64
+	duplicates        atomic.Uint64
+	nonFinite         atomic.Uint64
+	windowsClosed     atomic.Uint64
+	windowsEmpty      atomic.Uint64
+	windowsSkipped    atomic.Uint64
+	windowsDropped    atomic.Uint64
+	windowsDone       atomic.Uint64
+	windowsFailed     atomic.Uint64
+	warmStarts        atomic.Uint64
+	coldStarts        atomic.Uint64
+	subscriberDrops   atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of the engine's instrumentation; it
@@ -40,12 +43,20 @@ type Stats struct {
 	// counts refused reports, of which Late arrived below their fleet's
 	// retention horizon, Duplicates targeted an already-filled cell, and
 	// NonFinite carried NaN or ±Inf coordinates or velocities.
-	Ingested   uint64 `json:"ingested"`
-	Replayed   uint64 `json:"replayed"`
-	Rejected   uint64 `json:"rejected"`
-	Late       uint64 `json:"late"`
-	Duplicates uint64 `json:"duplicates"`
-	NonFinite  uint64 `json:"non_finite"`
+	Ingested uint64 `json:"ingested"`
+	// AdmittedClean, TaggedQuarantined and TaggedProbation partition
+	// Ingested by the admission gate's verdict on the submitter (see
+	// Config.Gate): every accepted report lands in exactly one bucket, so
+	// AdmittedClean + TaggedQuarantined + TaggedProbation == Ingested.
+	// Without a gate everything is AdmittedClean.
+	AdmittedClean     uint64 `json:"admitted_clean"`
+	TaggedQuarantined uint64 `json:"tagged_quarantined"`
+	TaggedProbation   uint64 `json:"tagged_probation"`
+	Replayed          uint64 `json:"replayed"`
+	Rejected          uint64 `json:"rejected"`
+	Late              uint64 `json:"late"`
+	Duplicates        uint64 `json:"duplicates"`
+	NonFinite         uint64 `json:"non_finite"`
 	// WindowsClosed counts windows cut from the streams; WindowsEmpty were
 	// discarded for holding no observations, WindowsSkipped were jumped
 	// over to catch up after a large slot gap, WindowsDropped fell out of

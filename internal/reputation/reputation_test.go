@@ -1,0 +1,303 @@
+package reputation_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"itscs/internal/core"
+	"itscs/internal/mat"
+	"itscs/internal/pipeline"
+	"itscs/internal/reputation"
+)
+
+// window synthesizes a completed WindowResult: every cell observed, the
+// reconstruction agreeing exactly with the sensory values (zero residual),
+// no CHECK flips, and per-row flagged fractions as given — so a row's
+// badness is exactly its flagged fraction.
+func window(fleet string, seq, n, w int, flagged map[int]float64) *pipeline.WindowResult {
+	sx, sy := mat.New(n, w), mat.New(n, w)
+	ex, d := mat.New(n, w), mat.New(n, w)
+	for i := 0; i < n; i++ {
+		k := int(math.Round(flagged[i] * float64(w)))
+		for j := 0; j < w; j++ {
+			sx.Set(i, j, float64(100*i+j))
+			sy.Set(i, j, float64(200*i-j))
+			ex.Set(i, j, 1)
+			if j < k {
+				d.Set(i, j, 1)
+			}
+		}
+	}
+	return &pipeline.WindowResult{
+		Fleet: fleet,
+		Seq:   seq,
+		Input: core.Input{SX: sx, SY: sy, Existence: ex},
+		Output: &core.Output{
+			Detection: d,
+			XHat:      sx.Clone(),
+			YHat:      sy.Clone(),
+			RowFlips:  make([]int, n),
+		},
+	}
+}
+
+func mustLedger(t *testing.T, cfg reputation.Config) *reputation.Ledger {
+	t.Helper()
+	l, err := reputation.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func rowState(t *testing.T, l *reputation.Ledger, fleet string, part int) string {
+	t.Helper()
+	ps, ok := l.Participant(fleet, part)
+	if !ok {
+		t.Fatalf("participant %d of %q has no snapshot", part, fleet)
+	}
+	return ps.State
+}
+
+// TestStateMachineLifecycle walks one participant around the full cycle
+// trusted → suspect → quarantined → probation → trusted while a clean
+// sibling in the same fleet never leaves trusted.
+func TestStateMachineLifecycle(t *testing.T) {
+	l := mustLedger(t, reputation.DefaultConfig())
+	const fleet = "alpha"
+	seq := 0
+	fold := func(badFrac float64) {
+		l.Fold(window(fleet, seq, 2, 20, map[int]float64{1: badFrac}))
+		seq++
+	}
+
+	sawSuspect, sawQuarantine, sawProbation := false, false, false
+	for i := 0; i < 12 && !sawQuarantine; i++ {
+		fold(0.8)
+		switch rowState(t, l, fleet, 1) {
+		case "suspect":
+			sawSuspect = true
+		case "quarantined":
+			sawQuarantine = true
+		}
+	}
+	if !sawSuspect || !sawQuarantine {
+		t.Fatalf("80%%-faulty row never reached quarantine (suspect=%v quarantined=%v)",
+			sawSuspect, sawQuarantine)
+	}
+	if l.Admit(fleet, 1) != pipeline.AdmitQuarantined {
+		t.Fatalf("Admit(quarantined row) = %v, want AdmitQuarantined", l.Admit(fleet, 1))
+	}
+
+	for i := 0; i < 60 && rowState(t, l, fleet, 1) != "trusted"; i++ {
+		fold(0)
+		if rowState(t, l, fleet, 1) == "probation" {
+			sawProbation = true
+			if l.Admit(fleet, 1) != pipeline.AdmitProbation {
+				t.Fatalf("Admit(probation row) = %v, want AdmitProbation", l.Admit(fleet, 1))
+			}
+		}
+	}
+	if !sawProbation {
+		t.Fatal("recovery skipped probation — hysteresis broken")
+	}
+	if got := rowState(t, l, fleet, 1); got != "trusted" {
+		t.Fatalf("row never readmitted: final state %s", got)
+	}
+	if got := rowState(t, l, fleet, 0); got != "trusted" {
+		t.Fatalf("clean sibling left trusted: %s", got)
+	}
+	if l.Admit(fleet, 0) != pipeline.AdmitClean {
+		t.Fatal("clean row not admitted clean")
+	}
+
+	// Every edge of the cycle was counted.
+	want := map[[2]string]bool{
+		{"trusted", "suspect"}:       true,
+		{"suspect", "quarantined"}:   true,
+		{"quarantined", "probation"}: true,
+		{"probation", "trusted"}:     true,
+	}
+	for _, tr := range l.Stats().Transitions {
+		delete(want, [2]string{tr.From, tr.To})
+	}
+	if len(want) != 0 {
+		t.Fatalf("uncounted transitions: %v (got %+v)", want, l.Stats().Transitions)
+	}
+}
+
+// TestFoldFrontierIdempotent re-delivers windows (replay after restore) and
+// delivers one out of order; both are skipped and counted, never folded
+// twice.
+func TestFoldFrontierIdempotent(t *testing.T) {
+	l := mustLedger(t, reputation.DefaultConfig())
+	w0 := window("f", 0, 1, 10, map[int]float64{0: 0.5})
+	w1 := window("f", 1, 1, 10, nil)
+	l.Fold(w0)
+	l.Fold(w1)
+	blob1, err := l.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Fold(w0) // replayed duplicate
+	l.Fold(w1) // replayed duplicate
+	st := l.Stats()
+	if st.Folded != 2 || st.Skipped != 2 {
+		t.Fatalf("folded=%d skipped=%d, want 2/2", st.Folded, st.Skipped)
+	}
+	// Skips move the skip counter but not the trust state.
+	blob2, err := l.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(blob1, blob2) {
+		t.Fatal("skip counter did not serialize")
+	}
+	ps1, _ := l.Participant("f", 0)
+	l.Fold(window("f", 1, 1, 10, map[int]float64{0: 1})) // out of order vs frontier
+	ps2, _ := l.Participant("f", 0)
+	if ps1.Score != ps2.Score || ps1.Weight != ps2.Weight {
+		t.Fatal("behind-frontier fold mutated trust state")
+	}
+}
+
+// TestPermutationEquivariance is the metamorphic invariant the chaos suite
+// leans on: permuting participant rows permutes the resulting scores.
+func TestPermutationEquivariance(t *testing.T) {
+	const n, w = 5, 24
+	frac := map[int]float64{0: 0.1, 1: 0.9, 2: 0, 3: 0.4, 4: 0.65}
+	perm := []int{3, 0, 4, 2, 1} // permuted row i carries original row perm[i]
+	permFrac := map[int]float64{}
+	for i, src := range perm {
+		permFrac[i] = frac[src]
+	}
+	a := mustLedger(t, reputation.DefaultConfig())
+	b := mustLedger(t, reputation.DefaultConfig())
+	for seq := 0; seq < 8; seq++ {
+		a.Fold(window("f", seq, n, w, frac))
+		b.Fold(window("f", seq, n, w, permFrac))
+	}
+	for i, src := range perm {
+		pa, okA := a.Participant("f", src)
+		pb, okB := b.Participant("f", i)
+		if !okA || !okB {
+			t.Fatalf("missing snapshot for row %d/%d", src, i)
+		}
+		if pa.Score != pb.Score || pa.LowerBound != pb.LowerBound || pa.State != pb.State {
+			t.Fatalf("row %d: original %+v vs permuted %+v", i, pa, pb)
+		}
+	}
+}
+
+// TestCodecRoundTrip pins the determinism contract: marshal → restore →
+// marshal is byte-identical, and equal-state ledgers produce equal blobs.
+func TestCodecRoundTrip(t *testing.T) {
+	l := mustLedger(t, reputation.DefaultConfig())
+	for seq := 0; seq < 6; seq++ {
+		l.Fold(window("beta", seq, 3, 16, map[int]float64{1: 0.75}))
+		l.Fold(window("alpha", seq, 2, 16, map[int]float64{0: 0.3}))
+	}
+	blob, err := l.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := mustLedger(t, reputation.DefaultConfig())
+	if err := fresh.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := fresh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("restore+marshal not byte-identical")
+	}
+	// The restored ledger continues folding identically.
+	next := window("alpha", 6, 2, 16, map[int]float64{0: 0.3})
+	l.Fold(next)
+	fresh.Fold(next)
+	b1, _ := l.MarshalBinary()
+	b2, _ := fresh.MarshalBinary()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("ledgers diverged after a post-restore fold")
+	}
+}
+
+// TestCodecRejectsDamage feeds the strict reader malformed blobs.
+func TestCodecRejectsDamage(t *testing.T) {
+	l := mustLedger(t, reputation.DefaultConfig())
+	l.Fold(window("f", 0, 2, 8, map[int]float64{1: 0.5}))
+	blob, err := l.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"truncated":     blob[:len(blob)-3],
+		"bad magic":     append([]byte("NOTAREPB"), blob[8:]...),
+		"trailing junk": append(append([]byte{}, blob...), 0xFF),
+	}
+	badVersion := append([]byte{}, blob...)
+	badVersion[8], badVersion[9] = 0xFF, 0xFF
+	cases["bad version"] = badVersion
+	for name, b := range cases {
+		fresh := mustLedger(t, reputation.DefaultConfig())
+		if err := fresh.Restore(b); err == nil {
+			t.Errorf("%s blob restored without error", name)
+		}
+	}
+	// Empty blob is the documented v1-checkpoint degraded mode: reset.
+	if err := l.Restore(nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Folded != 0 || st.Fleets != 0 {
+		t.Fatalf("nil restore did not reset: %+v", st)
+	}
+}
+
+// TestConfigValidation exercises the threshold-ordering guard.
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*reputation.Config){
+		func(c *reputation.Config) { c.Decay = 1 },
+		func(c *reputation.Config) { c.Decay = 0 },
+		func(c *reputation.Config) { c.SuspectBelow = c.QuarantineBelow - 0.01 },
+		func(c *reputation.Config) { c.ReadmitAbove = c.SuspectBelow },
+		func(c *reputation.Config) { c.ProbationAbove = c.QuarantineBelow },
+		func(c *reputation.Config) { c.MinWeight = 0 },
+		func(c *reputation.Config) { c.ResidualScaleMeters = 0 },
+		func(c *reputation.Config) { c.Z = 0 },
+		func(c *reputation.Config) { c.MissingWeight = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := reputation.DefaultConfig()
+		mutate(&cfg)
+		if _, err := reputation.New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := reputation.New(reputation.DefaultConfig()); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+// TestMissingAndFlipEvidence checks the secondary badness terms move the
+// score without any flagged cell.
+func TestMissingAndFlipEvidence(t *testing.T) {
+	l := mustLedger(t, reputation.DefaultConfig())
+	res := window("f", 0, 2, 20, nil)
+	// Row 1: half the cells missing, and every observed cell flipped once.
+	for j := 10; j < 20; j++ {
+		res.Input.Existence.Set(1, j, 0)
+	}
+	res.Output.RowFlips[1] = 10
+	l.Fold(res)
+	p0, _ := l.Participant("f", 0)
+	p1, _ := l.Participant("f", 1)
+	if p1.Score >= p0.Score {
+		t.Fatalf("missing+flip evidence did not lower score: clean %.3f vs noisy %.3f",
+			p0.Score, p1.Score)
+	}
+	if p1.Flips != 10 || p1.Observed != 10 {
+		t.Fatalf("cumulative counters wrong: %+v", p1)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"itscs/internal/fault"
 	"itscs/internal/mcs"
 	"itscs/internal/pipeline"
+	"itscs/internal/reputation"
 	"itscs/internal/wal"
 )
 
@@ -28,6 +29,7 @@ type runner struct {
 
 	log     *wal.Log
 	engine  *pipeline.Engine
+	ledger  *reputation.Ledger // this life's trust ledger (nil unless sc.Reputation)
 	results <-chan *pipeline.WindowResult
 	cancel  func()
 
@@ -41,8 +43,10 @@ type runner struct {
 	crashes  int
 	ckptErrs int
 
-	finalEngine pipeline.Stats
-	finalWAL    wal.Stats
+	finalEngine      pipeline.Stats
+	finalWAL         wal.Stats
+	finalLedger      []byte // the last life's serialized ledger
+	finalLedgerStats *reputation.LedgerStats
 
 	violations []string
 }
@@ -95,6 +99,15 @@ func (r *runner) run() error {
 	}
 	r.checkLife("final close")
 	r.finalEngine = r.engine.Stats()
+	if r.ledger != nil {
+		blob, err := r.ledger.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("marshal final ledger: %w", err)
+		}
+		r.finalLedger = blob
+		st := r.ledger.Stats()
+		r.finalLedgerStats = &st
+	}
 	if err := r.log.Close(); err != nil && !errors.Is(err, fault.ErrInjected) {
 		return fmt.Errorf("close wal: %w", err)
 	}
@@ -123,7 +136,20 @@ func (r *runner) openLife() error {
 		r.violations = append(r.violations, fmt.Sprintf(
 			"life %d: acked-report loss: log holds %d records, %d were acked", r.lives, got, r.acked))
 	}
-	engine, err := pipeline.New(engineConfig(r.sc, log))
+	cfg := engineConfig(r.sc, log)
+	var ledger *reputation.Ledger
+	if r.sc.Reputation {
+		// A crash kills the in-memory ledger with the process; each life
+		// builds a fresh one and restores it from the checkpoint blob, just
+		// like the daemon.
+		if ledger, err = reputation.New(reputation.DefaultConfig()); err != nil {
+			log.Close()
+			return err
+		}
+		cfg.Gate = ledger
+		cfg.OnResult = ledger.Fold
+	}
+	engine, err := pipeline.New(cfg)
 	if err != nil {
 		log.Close()
 		return err
@@ -136,6 +162,13 @@ func (r *runner) openLife() error {
 			engine.Abort()
 			log.Close()
 			return fmt.Errorf("restore checkpoint (life %d): %w", r.lives, rerr)
+		}
+		if ledger != nil {
+			if rerr := ledger.Restore(ck.Reputation); rerr != nil {
+				engine.Abort()
+				log.Close()
+				return fmt.Errorf("restore ledger (life %d): %w", r.lives, rerr)
+			}
 		}
 		from = ck.LogIndex
 	case errors.Is(err, wal.ErrNoCheckpoint):
@@ -156,7 +189,7 @@ func (r *runner) openLife() error {
 		log.Close()
 		return fmt.Errorf("replay log (life %d): %w", r.lives, err)
 	}
-	r.log, r.engine = log, engine
+	r.log, r.engine, r.ledger = log, engine, ledger
 	r.results, r.cancel = engine.Subscribe(256)
 	r.collected = 0
 	r.lastCkpt = engine.Stats().WindowsClosed
@@ -195,6 +228,14 @@ func (r *runner) maybeCheckpoint() error {
 			return nil
 		}
 		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if r.ledger != nil {
+		// waitFor drained every non-empty closed window, and folds land
+		// before WindowsProcessed moves, so the blob is consistent with the
+		// shard state captured above.
+		if ck.Reputation, err = r.ledger.MarshalBinary(); err != nil {
+			return fmt.Errorf("marshal ledger: %w", err)
+		}
 	}
 	if _, err := wal.WriteCheckpointFS(r.fsys, r.dir, ck); err != nil {
 		if errors.Is(err, fault.ErrInjected) {

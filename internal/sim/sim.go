@@ -27,6 +27,7 @@
 package sim
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
@@ -38,6 +39,7 @@ import (
 	"itscs/internal/mcs"
 	"itscs/internal/metrics"
 	"itscs/internal/pipeline"
+	"itscs/internal/reputation"
 	"itscs/internal/trace"
 	"itscs/internal/wal"
 )
@@ -80,6 +82,18 @@ type Scenario struct {
 	// (default 1). The runner drains the dispatch queue first so warm
 	// factors land in the checkpoint deterministically.
 	CheckpointEvery uint64
+
+	// Reputation wires a trust ledger into both runs (admission gate plus
+	// window-fold observer, checkpointed and restored like shard state).
+	// Run then verifies a fourth invariant: after any number of crashes
+	// the stormy ledger is bit-identical to the golden run's.
+	Reputation bool
+
+	// Sync selects the stormy run's WAL fsync policy (the zero value is
+	// SyncAlways). SyncInterval models the daemon's -fsync interval mode:
+	// a process crash still loses nothing because close flushes, so every
+	// invariant must hold under it too.
+	Sync wal.SyncPolicy
 
 	// Timeout bounds every wait on the result stream (default 2 minutes);
 	// it is a liveness backstop, not a tuning knob.
@@ -152,21 +166,27 @@ type Result struct {
 	// Engine and WAL snapshot the final life's instrumentation.
 	Engine pipeline.Stats
 	WAL    wal.Stats
+
+	// Reputation snapshots the stormy run's final trust ledger (nil unless
+	// Scenario.Reputation).
+	Reputation *reputation.LedgerStats
 }
 
 // DefaultScenarios is the standing chaos suite: one scenario per fault
 // family, all derived from a single base seed.
 func DefaultScenarios(seed int64) []Scenario {
 	return []Scenario{
-		{Name: "clean-crash", Seed: seed, CrashAt: []int{97}},
-		{Name: "double-crash", Seed: seed, CrashAt: []int{60, 180}},
-		{Name: "torn-writes", Seed: seed,
+		{Name: "clean-crash", Seed: seed, Reputation: true, CrashAt: []int{97}},
+		{Name: "double-crash", Seed: seed, Reputation: true, CrashAt: []int{60, 180}},
+		{Name: "interval-fsync", Seed: seed, Reputation: true, Sync: wal.SyncInterval,
+			CrashAt: []int{80, 200}},
+		{Name: "torn-writes", Seed: seed, Reputation: true,
 			Faults: fault.Plan{PWriteErr: 0.02, PTornWrite: 0.75, After: 25, MaxFaults: 4}},
-		{Name: "sync-errors", Seed: seed,
+		{Name: "sync-errors", Seed: seed, Reputation: true,
 			Faults: fault.Plan{PSyncErr: 0.03, After: 25, MaxFaults: 4}},
-		{Name: "checkpoint-chaos", Seed: seed, CrashAt: []int{120},
+		{Name: "checkpoint-chaos", Seed: seed, Reputation: true, CrashAt: []int{120},
 			Faults: fault.Plan{PRenameErr: 0.3, PRemoveErr: 0.2, After: 10, MaxFaults: 6}},
-		{Name: "mixed-weather", Seed: seed, CrashAt: []int{140},
+		{Name: "mixed-weather", Seed: seed, Reputation: true, CrashAt: []int{140},
 			Faults: fault.Plan{PWriteErr: 0.01, PTornWrite: 0.5, PSyncErr: 0.01,
 				PRenameErr: 0.1, After: 30, MaxFaults: 5}},
 	}
@@ -186,7 +206,8 @@ func Run(dir string, sc Scenario) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{Name: sc.Name, Seed: sc.Seed}
-	res.Golden, err = goldenRun(sc, reports, truth)
+	var goldenLedger []byte
+	res.Golden, goldenLedger, err = goldenRun(sc, reports, truth)
 	if err != nil {
 		return nil, fmt.Errorf("sim: golden run: %w", err)
 	}
@@ -201,6 +222,7 @@ func Run(dir string, sc Scenario) (*Result, error) {
 	r.fsys = fault.Inject(fault.OS(), r.in)
 	r.walOpt = wal.DefaultOptions()
 	r.walOpt.FS = r.fsys
+	r.walOpt.Sync = sc.Sync
 	if err := r.run(); err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", sc.Name, err)
 	}
@@ -212,8 +234,14 @@ func Run(dir string, sc Scenario) (*Result, error) {
 	res.Acked = r.acked
 	res.Engine = r.finalEngine
 	res.WAL = r.finalWAL
+	res.Reputation = r.finalLedgerStats
 
 	violations := append(r.violations, verifyWindows(res.Golden, res.Recovered)...)
+	if sc.Reputation && !bytes.Equal(goldenLedger, r.finalLedger) {
+		violations = append(violations, fmt.Sprintf(
+			"reputation ledger diverges from golden after recovery: %d vs %d bytes",
+			len(r.finalLedger), len(goldenLedger)))
+	}
 	if len(violations) > 0 {
 		return res, fmt.Errorf("sim: %s: invariants violated:\n  %s",
 			sc.Name, strings.Join(violations, "\n  "))
@@ -277,16 +305,29 @@ func engineConfig(sc Scenario, log pipeline.ReportLog) pipeline.Config {
 
 // goldenRun streams every report through an undamaged, log-free engine and
 // records each window's outcome: the reference the stormy run must match.
-func goldenRun(sc Scenario, reports []mcs.Report, truth *corrupt.Result) (map[int]WindowOutcome, error) {
-	engine, err := pipeline.New(engineConfig(sc, nil))
+// With Scenario.Reputation it also folds every window into a fresh trust
+// ledger and returns its serialized form, the reference the stormy ledger
+// must match bit for bit.
+func goldenRun(sc Scenario, reports []mcs.Report, truth *corrupt.Result) (map[int]WindowOutcome, []byte, error) {
+	cfg := engineConfig(sc, nil)
+	var ledger *reputation.Ledger
+	if sc.Reputation {
+		var err error
+		if ledger, err = reputation.New(reputation.DefaultConfig()); err != nil {
+			return nil, nil, err
+		}
+		cfg.Gate = ledger
+		cfg.OnResult = ledger.Fold
+	}
+	engine, err := pipeline.New(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	results, cancel := engine.Subscribe(256)
 	defer cancel()
 	for i, r := range reports {
 		if err := engine.Ingest(r); err != nil {
-			return nil, fmt.Errorf("ingest report %d: %w", i, err)
+			return nil, nil, fmt.Errorf("ingest report %d: %w", i, err)
 		}
 	}
 	engine.Close()
@@ -297,17 +338,23 @@ func goldenRun(sc Scenario, reports []mcs.Report, truth *corrupt.Result) (map[in
 		case res, ok := <-results:
 			if !ok {
 				if len(golden) == 0 {
-					return nil, errors.New("produced no windows")
+					return nil, nil, errors.New("produced no windows")
 				}
-				return golden, nil
+				var blob []byte
+				if ledger != nil {
+					if blob, err = ledger.MarshalBinary(); err != nil {
+						return nil, nil, err
+					}
+				}
+				return golden, blob, nil
 			}
 			out, err := outcome(res, truth)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			golden[out.Seq] = out
 		case <-deadline:
-			return nil, errors.New("timed out collecting windows")
+			return nil, nil, errors.New("timed out collecting windows")
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"itscs/internal/fault"
+	"itscs/internal/wal"
 )
 
 // The suite is steerable from the command line without recompiling:
@@ -124,6 +125,36 @@ func TestFaultFreeBaseline(t *testing.T) {
 	}
 	if len(res.Recovered) == 0 {
 		t.Fatal("baseline produced no windows")
+	}
+}
+
+// TestReputationFsyncPolicies pins the ledger-durability claim by name:
+// after two crashes and recoveries the trust ledger must be bit-identical
+// to the golden run's under both fsync policies the daemon ships (Run
+// itself performs the equality check; a nil error is the assertion).
+func TestReputationFsyncPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sync wal.SyncPolicy
+	}{
+		{"always", wal.SyncAlways},
+		{"interval", wal.SyncInterval},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(t.TempDir(), Scenario{
+				Name: "rep-fsync-" + tc.name, Seed: *baseSeed,
+				Reputation: true, Sync: tc.sync, CrashAt: []int{60, 180},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Crashes < 2 {
+				t.Errorf("crashed %d times, scheduled 2", res.Crashes)
+			}
+			if res.Reputation == nil || res.Reputation.Folded == 0 {
+				t.Fatalf("final ledger is empty: %+v", res.Reputation)
+			}
+		})
 	}
 }
 

@@ -55,7 +55,8 @@ func VerifyWindows(golden, got map[int]WindowOutcome) []string {
 // returns every window's outcome keyed by sequence number.
 func GoldenRun(w *FleetWorkload, sc Scenario) (map[int]WindowOutcome, error) {
 	sc.fillDefaults()
-	return goldenRun(sc, w.Reports, w.Truth)
+	golden, _, err := goldenRun(sc, w.Reports, w.Truth)
+	return golden, err
 }
 
 // EngineConfig exposes the deterministic engine shape GoldenRun uses, so a

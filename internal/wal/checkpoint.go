@@ -21,7 +21,8 @@ import (
 // Checkpoint file layout ("checkpoint-<hex LogIndex>.ckpt"):
 //
 //	8 bytes  magic "ITSCSCKP"
-//	u32      version (1)
+//	u32      version (2; version-1 files, which end after the shards, are
+//	         still read — their Reputation section is simply absent)
 //	body     (CRC32C-protected):
 //	  u64    LogIndex — replay origin: every record with index below this
 //	         is reflected in the shard snapshots
@@ -33,6 +34,9 @@ import (
 //	    u64        WarmSeq+1 (0 encodes "no warm state yet")
 //	    5×matrix   SX SY VX VY EX rings (mat binary framing)
 //	    u8         warm-present flag, then 4×matrix L/R factors per axis
+//	  u32+bytes  (version ≥ 2) opaque reputation-ledger blob; the WAL
+//	             layer never interprets it, it just carries the bytes so
+//	             the trust ledger shares the shards' crash consistency
 //	u32      CRC32C of the body
 //
 // Files are written to a temp name, fsynced, renamed into place, and the
@@ -40,10 +44,16 @@ import (
 // set or the new one, never a half file under the real name.
 
 const (
-	ckptPrefix  = "checkpoint-"
-	ckptSuffix  = ".ckpt"
-	ckptMagic   = "ITSCSCKP"
-	ckptVersion = 1
+	ckptPrefix = "checkpoint-"
+	ckptSuffix = ".ckpt"
+	ckptMagic  = "ITSCSCKP"
+	// ckptVersionV1 files predate the reputation section; they load with a
+	// nil Reputation blob. ckptVersion is what new files are written as.
+	ckptVersionV1 = 1
+	ckptVersion   = 2
+	// maxReputationBlob bounds the reputation section's claimed size before
+	// allocation, like maxShards and maxFleetNameLen bound theirs.
+	maxReputationBlob = 1 << 26
 )
 
 // ErrNoCheckpoint is returned by LatestCheckpoint when the directory holds
@@ -77,6 +87,14 @@ type Checkpoint struct {
 	WindowSlots  int
 	HopSlots     int
 	Shards       []ShardCheckpoint
+
+	// Reputation is the trust ledger's serialized state, carried opaquely
+	// (the WAL layer neither produces nor interprets it — the daemon fills
+	// it from reputation.Ledger.MarshalBinary after Engine.Checkpoint and
+	// restores it after Engine.Restore). Nil for version-1 files and for
+	// engines running without a ledger; restoring nil resets the ledger,
+	// which then rebuilds from the replayed WAL tail onward.
+	Reputation []byte
 }
 
 // CheckpointPath names the file a checkpoint at the given log index is
@@ -200,6 +218,15 @@ func writeCheckpointTo(w io.Writer, ck *Checkpoint) error {
 			}
 		}
 	}
+	if len(ck.Reputation) > maxReputationBlob {
+		return fmt.Errorf("wal: reputation blob %d bytes exceeds limit", len(ck.Reputation))
+	}
+	if err := writeU32(uint32(len(ck.Reputation))); err != nil {
+		return fmt.Errorf("wal: checkpoint write: %w", err)
+	}
+	if _, err := cw.Write(ck.Reputation); err != nil {
+		return fmt.Errorf("wal: checkpoint write: %w", err)
+	}
 	var trailer [4]byte
 	binary.LittleEndian.PutUint32(trailer[:], cw.crc.Sum32())
 	if _, err := bw.Write(trailer[:]); err != nil {
@@ -250,8 +277,9 @@ func readCheckpointFrom(r io.Reader, path string) (*Checkpoint, error) {
 	if string(hdr[:len(ckptMagic)]) != ckptMagic {
 		return nil, fmt.Errorf("wal: bad checkpoint magic in %s", path)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[len(ckptMagic):]); v != ckptVersion {
-		return nil, fmt.Errorf("wal: checkpoint version %d unsupported", v)
+	version := binary.LittleEndian.Uint32(hdr[len(ckptMagic):])
+	if version != ckptVersionV1 && version != ckptVersion {
+		return nil, fmt.Errorf("wal: checkpoint version %d unsupported", version)
 	}
 	cr := &crcReader{r: br, crc: crc32.New(castagnoli)}
 	var err error
@@ -332,6 +360,21 @@ func readCheckpointFrom(r io.Reader, path string) (*Checkpoint, error) {
 			return nil, fmt.Errorf("wal: bad warm flag %d", flag[0])
 		}
 		ck.Shards = append(ck.Shards, sc)
+	}
+	if version >= ckptVersion {
+		blobLen, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("wal: checkpoint reputation: %w", err)
+		}
+		if blobLen > maxReputationBlob {
+			return nil, fmt.Errorf("wal: implausible reputation blob length %d", blobLen)
+		}
+		if blobLen > 0 {
+			ck.Reputation = make([]byte, blobLen)
+			if _, err := io.ReadFull(cr, ck.Reputation); err != nil {
+				return nil, fmt.Errorf("wal: checkpoint reputation: %w", err)
+			}
+		}
 	}
 	sum := cr.crc.Sum32()
 	var trailer [4]byte
