@@ -33,6 +33,12 @@
 //	GET /reputation      merged trust ledgers of every backend (JSON)
 //	GET /reputation/{fleet}               proxied to the fleet's owner
 //	GET /reputation/{fleet}/{participant} proxied to the fleet's owner
+//	GET /trace/{fleet}   scatter-gather trace lookup: every backend's
+//	                     /trace/{fleet} answer, attributed by backend;
+//	                     ?id={trace-id} passes the trace-ID lookup through
+//	GET /status          cluster overview (JSON): backends, ring ownership,
+//	                     per-fleet freshness quantiles and window lag,
+//	                     every backend's own /status attributed by name
 //	GET /metrics         Prometheus text exposition of the router and the
 //	                     aggregated cluster; JSON with Accept:
 //	                     application/json or ?format=json
@@ -50,13 +56,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
 	"itscs/internal/cluster"
 	"itscs/internal/mcs"
 	"itscs/internal/obs"
+	"itscs/internal/pipeline"
 )
 
 func main() {
@@ -93,6 +99,13 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	if err != nil {
 		return err
 	}
+	// Startup banner: build identity and topology, first line in the log.
+	banner := make([]any, 0, 8)
+	for _, a := range obs.BuildInfoAttrs() {
+		banner = append(banner, a)
+	}
+	banner = append(banner, "backends", len(backends), "vnodes", *vnodes)
+	logger.Info("itscs-router starting", banner...)
 
 	r, err := newRouter(routerOptions{
 		ingestAddr:    *ingestAddr,
@@ -172,6 +185,7 @@ type router struct {
 	httpLn     net.Listener
 	httpBound  net.Addr
 	started    time.Time
+	runtime    *obs.Runtime
 	fatal      chan error
 }
 
@@ -190,6 +204,7 @@ func newRouter(opt routerOptions) (*router, error) {
 		backends: opt.backends,
 		ring:     cluster.NewRing(opt.vnodes),
 		started:  time.Now(),
+		runtime:  obs.NewRuntime(),
 		fatal:    make(chan error, 2),
 	}
 	r.prober = cluster.NewProber(opt.backends, cluster.ProberOptions{
@@ -306,6 +321,16 @@ func (r *router) mux() *http.ServeMux {
 			req.PathValue("fleet"), req.PathValue("participant"))
 		relayOwner(w, resp, err)
 	})
+	mux.HandleFunc("GET /trace/{fleet}", func(w http.ResponseWriter, req *http.Request) {
+		// Scatter-gather rather than owner-proxy: after a ring change (or an
+		// operator misremembering placement) the trace may live on a backend
+		// that no longer owns the fleet, and each answer stays attributed.
+		writeJSON(w, http.StatusOK,
+			r.query.TraceFleet(req.Context(), req.PathValue("fleet"), req.URL.RawQuery))
+	})
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.statusPayload(req))
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
 		payload := metricsPayload{
 			Forwarder:  r.fwd.Stats(),
@@ -313,15 +338,61 @@ func (r *router) mux() *http.ServeMux {
 			Cluster:    r.query.Metrics(req.Context()),
 			Reputation: r.query.Reputation(req.Context()),
 		}
-		if wantsJSON(req) {
+		if obs.WantsJSON(req) {
 			writeJSON(w, http.StatusOK, payload)
 			return
 		}
 		w.Header().Set("Content-Type", obs.PromContentType)
 		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write(renderProm(payload, time.Since(r.started)))
+		_, _ = w.Write(renderProm(payload, time.Since(r.started), r.runtime))
 	})
 	return mux
+}
+
+// statusPayload assembles the router's /status cluster overview: the
+// prober's health view, per-fleet ring ownership and freshness (quantiles
+// and window lag from the aggregated engine stats), and every backend's
+// own /status answer, attributed by name.
+func (r *router) statusPayload(req *http.Request) map[string]any {
+	ctx := req.Context()
+	cm := r.query.Metrics(ctx)
+	fleets := map[string]any{}
+	for fleet, ff := range cm.Aggregate.Freshness {
+		owner, _ := r.fwd.Owner(fleet)
+		fleets[fleet] = map[string]any{
+			"owner":            owner,
+			"watermark_slot":   ff.WatermarkSlot,
+			"window_lag":       ff.NextSeq - 1 - ff.LatestSeq,
+			"age_at_close":     pipeline.SummarizeFreshness(ff.AgeAtClose),
+			"ingest_to_result": pipeline.SummarizeFreshness(ff.IngestToResult),
+		}
+	}
+	fwd := r.fwd.Stats()
+	return map[string]any{
+		"status":         "ok",
+		"uptime_s":       time.Since(r.started).Seconds(),
+		"ready_backends": r.prober.ReadyCount(),
+		"backends":       r.prober.Snapshot(),
+		"forwarder": map[string]any{
+			"forwarded":        fwd.Forwarded,
+			"unroutable":       fwd.Unroutable,
+			"non_finite":       fwd.NonFinite,
+			"invalid_identity": fwd.InvalidIdentity,
+		},
+		"freshness": map[string]any{
+			"age_at_close":     pipeline.SummarizeFreshness(cm.Aggregate.AgeAtClose),
+			"ingest_to_result": pipeline.SummarizeFreshness(cm.Aggregate.IngestToResult),
+			"by_fleet":         fleets,
+		},
+		"engine": map[string]any{
+			"ingested":          cm.Aggregate.Ingested,
+			"reports_stamped":   cm.Aggregate.ReportsStamped,
+			"reports_unstamped": cm.Aggregate.ReportsUnstamped,
+			"windows_closed":    cm.Aggregate.WindowsClosed,
+			"windows_processed": cm.Aggregate.WindowsProcessed,
+		},
+		"backend_status": r.query.Status(ctx),
+	}
 }
 
 // metricsPayload is the router's /metrics JSON: its own data plane, the
@@ -350,20 +421,6 @@ func relayOwner(w http.ResponseWriter, resp *cluster.ProxyResponse, err error) {
 		w.WriteHeader(resp.Status)
 		_, _ = w.Write(resp.Body)
 	}
-}
-
-// wantsJSON mirrors itscs-serve's content negotiation: Prometheus text by
-// default, JSON via ?format=json or Accept.
-func wantsJSON(r *http.Request) bool {
-	if r.URL.Query().Get("format") == "json" {
-		return true
-	}
-	for _, accept := range r.Header.Values("Accept") {
-		if strings.Contains(accept, "application/json") {
-			return true
-		}
-	}
-	return false
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

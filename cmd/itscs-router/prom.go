@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"itscs/internal/metrics"
 	"itscs/internal/obs"
 	"itscs/internal/reputation"
 )
@@ -16,7 +17,7 @@ import (
 // itscs_cluster_, so one scrape of the router graphs the whole deployment.
 // Per-backend series are labeled backend="<ingest addr>" and emitted in
 // stable (configured) order.
-func renderProm(p metricsPayload, uptime time.Duration) []byte {
+func renderProm(p metricsPayload, uptime time.Duration, rt *obs.Runtime) []byte {
 	b := obs.NewProm()
 
 	b.Gauge("itscs_router_build_info",
@@ -111,6 +112,8 @@ func renderProm(p metricsPayload, uptime time.Duration) []byte {
 	b.Counter("itscs_cluster_reports_late_total", "Rejected reports below their fleet's retention horizon.", float64(agg.Late))
 	b.Counter("itscs_cluster_reports_duplicate_total", "Rejected reports targeting an already-filled cell.", float64(agg.Duplicates))
 	b.Counter("itscs_cluster_reports_non_finite_total", "Rejected reports carrying NaN or infinite values.", float64(agg.NonFinite))
+	b.Counter("itscs_cluster_reports_stamped_total", "Ingested reports carrying an ingest freshness stamp, summed across backends.", float64(agg.ReportsStamped))
+	b.Counter("itscs_cluster_reports_unstamped_total", "Ingested reports without a freshness stamp, summed across backends.", float64(agg.ReportsUnstamped))
 	// Admission-gate breakdown: the three sum to ingested — tagged reports
 	// are admitted, never dropped.
 	b.Counter("itscs_cluster_reports_admitted_clean_total", "Ingested reports from participants in good standing across the cluster.", float64(agg.AdmittedClean))
@@ -131,6 +134,14 @@ func renderProm(p metricsPayload, uptime time.Duration) []byte {
 			"Wall-clock latency by pipeline phase, summed across backends.",
 			agg.PhaseLatency[phase], obs.Label{Name: "phase", Value: phase})
 	}
+	// Cluster-wide freshness: the backends' histograms merge bucket-wise
+	// (fleets shard whole, so no observation is double-counted).
+	b.HistogramBounds("itscs_cluster_freshness_age_at_close_seconds",
+		"Report age at window close, summed across backends.",
+		metrics.AgeBuckets, agg.AgeAtClose)
+	b.HistogramBounds("itscs_cluster_freshness_ingest_to_result_seconds",
+		"Ingest-to-result latency, summed across backends.",
+		metrics.AgeBuckets, agg.IngestToResult)
 
 	// Merged reputation ledgers (fleets shard whole, so the union over
 	// backends double-counts nothing). Every state is emitted even at zero
@@ -147,6 +158,7 @@ func renderProm(p metricsPayload, uptime time.Duration) []byte {
 		b.Counter("itscs_cluster_reputation_transitions_total", "Trust state transitions across the cluster.",
 			float64(tr.Count), obs.Label{Name: "from", Value: tr.From}, obs.Label{Name: "to", Value: tr.To})
 	}
+	rt.Emit(b, "itscs_router_")
 	return b.Bytes()
 }
 

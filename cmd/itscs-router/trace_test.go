@@ -1,0 +1,223 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"itscs/internal/mcs"
+	"itscs/internal/obs"
+	"itscs/internal/obs/obstest"
+	"itscs/internal/pipeline"
+	"itscs/internal/sim"
+)
+
+// TestMetricsConformance runs the shared content-negotiation contract
+// against the router — the identical checker itscs-serve's suite runs, so
+// the two daemons cannot drift apart on the /metrics surface.
+func TestMetricsConformance(t *testing.T) {
+	backends := startBackends(t, 2)
+	r, _ := startRouter(t, backends, 200*time.Millisecond)
+	if err := obstest.CheckMetricsConformance("http://" + r.httpBound.String()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tracePayload mirrors the backends' /trace/{fleet} JSON shape for decoding
+// the router's attributed scatter-gather answer.
+type tracePayload struct {
+	Fleet  string      `json:"fleet"`
+	Traces []obs.Trace `json:"traces"`
+}
+
+// TestClusterTraceAndStatus is the freshness-plane acceptance E2E: a report
+// ingested at the router is traceable by its trace ID through the forwarder
+// stamp, the backend window close, and detection, all from the router's
+// /trace endpoint; the router's /status shows sane freshness quantiles.
+func TestClusterTraceAndStatus(t *testing.T) {
+	backends := startBackends(t, 2)
+	r, _ := startRouter(t, backends, 200*time.Millisecond)
+	base := "http://" + r.httpBound.String()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	w, err := sim.BuildWorkload("tracey", testScenario(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acked, err := mcs.SendReports(ctx, r.ingestAddr.String(), w.Reports); err != nil || acked != len(w.Reports) {
+		t.Fatalf("streamed %d/%d, err %v", acked, len(w.Reports), err)
+	}
+	if err := r.fwd.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The bounded trace ring keeps the newest reports, which sit in the final
+	// partial window — flush the owner so that window closes and its retained
+	// traces acquire the full hop chain.
+	owner, _ := r.fwd.Owner("tracey")
+	for _, b := range backends {
+		if b.Spec().Name == owner {
+			if err := b.Engine().Flush("tracey"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Poll the router's scatter-gather trace view until the owner has closed
+	// and detected a window, then pick one fully-linked trace as the probe.
+	var (
+		exemplar obs.Trace
+		holder   string
+	)
+	deadline := time.Now().Add(30 * time.Second)
+	for exemplar.ID == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("no backend ever reported a detected trace for the fleet")
+		}
+		var ct struct {
+			Fleet    string `json:"fleet"`
+			Backends []struct {
+				Backend string          `json:"backend"`
+				Err     string          `json:"err,omitempty"`
+				Payload json.RawMessage `json:"payload,omitempty"`
+			} `json:"backends"`
+		}
+		if status, err := getRouterJSON(base+"/trace/tracey", &ct); err != nil || status != http.StatusOK {
+			t.Fatalf("/trace/tracey: status %d err %v", status, err)
+		}
+		if ct.Fleet != "tracey" {
+			t.Fatalf("trace fan-out answered for fleet %q", ct.Fleet)
+		}
+		for _, b := range ct.Backends {
+			if b.Err != "" {
+				continue // non-owner backends 404, reported not fatal
+			}
+			var tp tracePayload
+			if err := json.Unmarshal(b.Payload, &tp); err != nil {
+				t.Fatalf("backend %s trace payload: %v", b.Backend, err)
+			}
+			for _, tr := range tp.Traces {
+				if tr.WindowSeq >= 0 && hasStage(tr, "detect") {
+					exemplar, holder = tr, b.Backend
+					break
+				}
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The report entered through the router's door, so its trace records the
+	// router stamp and the full hop chain.
+	if exemplar.Origin != mcs.OriginRouter.String() {
+		t.Errorf("trace origin = %q, want router", exemplar.Origin)
+	}
+	for _, stage := range []string{"ingest", "window_close", "detect"} {
+		if !hasStage(exemplar, stage) {
+			t.Errorf("trace %s missing stage %q: %+v", exemplar.ID, stage, exemplar.Stages)
+		}
+	}
+	if holder != owner {
+		t.Errorf("trace held by %s, ring owner is %s", holder, owner)
+	}
+
+	// Point lookup by ID through the router: exactly the holding backend
+	// answers, with the same trace.
+	var byID struct {
+		Backends []struct {
+			Backend string          `json:"backend"`
+			Err     string          `json:"err,omitempty"`
+			Payload json.RawMessage `json:"payload,omitempty"`
+		} `json:"backends"`
+	}
+	if status, err := getRouterJSON(base+"/trace/tracey?id="+exemplar.ID, &byID); err != nil || status != http.StatusOK {
+		t.Fatalf("/trace/tracey?id=: status %d err %v", status, err)
+	}
+	found := 0
+	for _, b := range byID.Backends {
+		if b.Err != "" {
+			continue
+		}
+		var tp tracePayload
+		if err := json.Unmarshal(b.Payload, &tp); err != nil {
+			t.Fatal(err)
+		}
+		if len(tp.Traces) != 1 || tp.Traces[0].ID != exemplar.ID {
+			t.Fatalf("backend %s answered id lookup with %+v", b.Backend, tp.Traces)
+		}
+		if b.Backend != holder {
+			t.Errorf("id lookup answered by %s, trace lives on %s", b.Backend, holder)
+		}
+		found++
+	}
+	if found != 1 {
+		t.Fatalf("id lookup found the trace on %d backends, want exactly 1", found)
+	}
+
+	// /status: one JSON overview with both backends admitted and freshness
+	// quantiles that are populated and ordered.
+	var st struct {
+		Status        string `json:"status"`
+		ReadyBackends int    `json:"ready_backends"`
+		Engine        struct {
+			Ingested       uint64 `json:"ingested"`
+			ReportsStamped uint64 `json:"reports_stamped"`
+		} `json:"engine"`
+		Freshness struct {
+			AgeAtClose pipeline.FreshnessSummary `json:"age_at_close"`
+			ByFleet    map[string]struct {
+				Owner      string                    `json:"owner"`
+				AgeAtClose pipeline.FreshnessSummary `json:"age_at_close"`
+			} `json:"by_fleet"`
+		} `json:"freshness"`
+	}
+	if status, err := getRouterJSON(base+"/status", &st); err != nil || status != http.StatusOK {
+		t.Fatalf("/status: status %d err %v", status, err)
+	}
+	if st.Status != "ok" || st.ReadyBackends != 2 {
+		t.Fatalf("status = %q ready_backends = %d, want ok/2", st.Status, st.ReadyBackends)
+	}
+	if st.Engine.Ingested != uint64(len(w.Reports)) || st.Engine.ReportsStamped != uint64(len(w.Reports)) {
+		t.Errorf("engine ingested %d stamped %d, want %d of each",
+			st.Engine.Ingested, st.Engine.ReportsStamped, len(w.Reports))
+	}
+	agg := st.Freshness.AgeAtClose
+	if agg.Count == 0 {
+		t.Fatal("aggregate age_at_close quantiles empty after a closed window")
+	}
+	if agg.P50MS < 0 || agg.P50MS > agg.P90MS || agg.P90MS > agg.P99MS {
+		t.Errorf("aggregate quantiles not sane: %+v", agg)
+	}
+	ff, ok := st.Freshness.ByFleet["tracey"]
+	if !ok {
+		t.Fatal("status by_fleet missing the streamed fleet")
+	}
+	if ff.Owner != owner {
+		t.Errorf("status owner = %q, ring owner is %q", ff.Owner, owner)
+	}
+	if ff.AgeAtClose.Count == 0 {
+		t.Error("fleet age_at_close quantiles empty after a closed window")
+	}
+}
+
+func hasStage(tr obs.Trace, name string) bool {
+	for _, s := range tr.Stages {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func getRouterJSON(url string, v any) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return resp.StatusCode, err
+	}
+	return resp.StatusCode, nil
+}

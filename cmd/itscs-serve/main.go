@@ -52,10 +52,16 @@
 //	                     200 once ingest is accepting reports
 //	GET /metrics         Prometheus text exposition; JSON with
 //	                     Accept: application/json or ?format=json
+//	GET /status          operational overview (JSON): readiness, build,
+//	                     engine counters, freshness quantiles per fleet,
+//	                     reputation census, WAL/checkpoint recency
 //	GET /results         fleets with at least one report, sorted
 //	GET /results/{fleet} newest completed window result for the fleet
 //	                     (204 when the fleet exists but no window closed)
-//	GET /trace/{fleet}   recent per-window trace spans, newest first
+//	GET /trace/{fleet}   recent per-window trace spans plus the retained
+//	                     end-to-end freshness traces, newest first;
+//	                     ?id={trace-id} looks one stamped report's
+//	                     ingest→publish stage record up by trace ID
 //	GET /reputation      the whole trust ledger: per-fleet participant
 //	                     scores, states, and aggregate counters
 //	GET /reputation/{fleet}                one fleet's ledger (404 unknown)
@@ -82,7 +88,6 @@ import (
 	"runtime"
 	rdebug "runtime/debug"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -148,6 +153,20 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	if err != nil {
 		return err
 	}
+	// Startup banner: who this binary is and how it will persist, first
+	// line in the log whatever happens next. -log-format selects whether it
+	// renders as text or JSON, like every other record.
+	banner := make([]any, 0, 12)
+	for _, a := range obs.BuildInfoAttrs() {
+		banner = append(banner, a)
+	}
+	if *dataDir != "" {
+		banner = append(banner, "data_dir", *dataDir, "fsync", *fsyncPolicy,
+			"fsync_interval", fsyncInterval.String(), "checkpoint_every", *checkpointEvery)
+	} else {
+		banner = append(banner, "data_dir", "(in-memory)")
+	}
+	logger.Info("itscs-serve starting", banner...)
 
 	cfg := pipeline.DefaultConfig()
 	cfg.Participants = *participants
@@ -245,6 +264,7 @@ type durability struct {
 	wg          sync.WaitGroup
 	mu          sync.Mutex
 	lastCkpt    uint64 // windowsClosed at the last checkpoint
+	lastCkptAt  time.Time
 	windowsSeen uint64
 	ckpts       uint64
 	ckptErrs    uint64
@@ -284,6 +304,10 @@ type checkpointStats struct {
 	Written   uint64 `json:"written"`
 	Errors    uint64 `json:"errors"`
 	LastError string `json:"last_error,omitempty"`
+	// LastUnixMicro is when the newest checkpoint finished (0 before the
+	// first): the recency signal /status pairs with the WAL's, bounding how
+	// much log a restart would replay.
+	LastUnixMicro int64 `json:"last_unix_us,omitempty"`
 }
 
 // daemonOptions collects the wiring newDaemon needs beyond the engine
@@ -328,6 +352,7 @@ type daemon struct {
 	fatal       chan error
 	dur         *durability
 	ledger      *reputation.Ledger // nil when -reputation=false
+	runtime     *obs.Runtime
 	startupGate <-chan struct{}
 
 	// invalidIdentity counts reports the ingest door refused for an empty
@@ -386,6 +411,9 @@ func newDaemon(cfg pipeline.Config, opt daemonOptions) (*daemon, error) {
 			}
 		}
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = fault.RealClock()
+	}
 	engine, err := pipeline.New(cfg)
 	if err != nil {
 		if dur != nil {
@@ -400,13 +428,16 @@ func newDaemon(cfg pipeline.Config, opt daemonOptions) (*daemon, error) {
 		fatal:       make(chan error, 3),
 		dur:         dur,
 		ledger:      ledger,
+		runtime:     obs.NewRuntime(),
 		startupGate: opt.startupGate,
 		startupDone: make(chan struct{}),
 	}
 	// The TCP door fronts the engine with the identity check: a report with
 	// no routable identity is refused (and counted) before it can occupy a
-	// default-fleet shard no cluster router would ever query.
-	d.ingest = mcs.NewServer(&identityGate{next: engine, invalid: &d.invalidIdentity})
+	// default-fleet shard no cluster router would ever query. It is also
+	// the freshness door: every admitted report gets its ingest stamp here,
+	// unless a router upstream already stamped it.
+	d.ingest = mcs.NewServer(&identityGate{next: engine, invalid: &d.invalidIdentity, clock: cfg.Clock})
 	d.ingest.IdleTimeout = opt.idle
 	if d.ingestAddr, err = d.ingest.Listen(opt.ingestAddr); err != nil {
 		d.teardown()
@@ -439,6 +470,7 @@ func newDaemon(cfg pipeline.Config, opt daemonOptions) (*daemon, error) {
 type identityGate struct {
 	next    mcs.Ingestor
 	invalid *atomic.Uint64
+	clock   fault.Clock
 }
 
 func (g *identityGate) Ingest(r mcs.Report) error {
@@ -446,6 +478,9 @@ func (g *identityGate) Ingest(r mcs.Report) error {
 		g.invalid.Add(1)
 		return err
 	}
+	// Stamp at the door. StampIngest no-ops on a report a router already
+	// stamped, so freshness always measures from first contact.
+	mcs.StampIngest(&r, g.clock.Now(), mcs.OriginDirect)
 	return g.next.Ingest(r)
 }
 
@@ -589,6 +624,7 @@ func (dur *durability) checkpointOnce(engine *pipeline.Engine, closed uint64) er
 	}
 	dur.mu.Lock()
 	dur.lastCkpt = closed
+	dur.lastCkptAt = time.Now()
 	dur.ckpts++
 	dur.lastErr = ""
 	dur.mu.Unlock()
@@ -599,7 +635,11 @@ func (dur *durability) checkpointOnce(engine *pipeline.Engine, closed uint64) er
 func (dur *durability) stats() checkpointStats {
 	dur.mu.Lock()
 	defer dur.mu.Unlock()
-	return checkpointStats{Written: dur.ckpts, Errors: dur.ckptErrs, LastError: dur.lastErr}
+	s := checkpointStats{Written: dur.ckpts, Errors: dur.ckptErrs, LastError: dur.lastErr}
+	if !dur.lastCkptAt.IsZero() {
+		s.LastUnixMicro = dur.lastCkptAt.UnixMicro()
+	}
+	return s
 }
 
 // serve starts the HTTP listeners immediately — /readyz answers 503 while
@@ -746,13 +786,16 @@ func (d *daemon) mux() *http.ServeMux {
 			rs := d.ledger.Stats()
 			payload.Reputation = &rs
 		}
-		if wantsJSON(r) {
+		if obs.WantsJSON(r) {
 			writeJSON(w, http.StatusOK, payload)
 			return
 		}
 		w.Header().Set("Content-Type", obs.PromContentType)
 		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write(renderProm(payload, time.Since(d.started)))
+		_, _ = w.Write(renderProm(payload, time.Since(d.started), d.runtime))
+	})
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, d.statusPayload())
 	})
 	mux.HandleFunc("GET /results", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"fleets": d.engine.Fleets()})
@@ -773,12 +816,30 @@ func (d *daemon) mux() *http.ServeMux {
 	})
 	mux.HandleFunc("GET /trace/{fleet}", func(w http.ResponseWriter, r *http.Request) {
 		fleet := r.PathValue("fleet")
+		if idStr := r.URL.Query().Get("id"); idStr != "" {
+			// Trace-ID lookup: one stamped report's end-to-end stage record.
+			id, err := obs.ParseTraceID(idStr)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+				return
+			}
+			tr, ok := d.engine.FindTrace(fleet, id)
+			if !ok {
+				writeJSON(w, http.StatusNotFound, map[string]any{
+					"error": fmt.Sprintf("no retained trace %s for fleet %q", idStr, fleet),
+				})
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"fleet": fleet, "traces": []obs.Trace{tr}})
+			return
+		}
 		spans, err := d.engine.Trace(fleet)
 		if err != nil {
 			writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"fleet": fleet, "spans": spans})
+		traces, _ := d.engine.Traces(fleet)
+		writeJSON(w, http.StatusOK, map[string]any{"fleet": fleet, "spans": spans, "traces": traces})
 	})
 	mux.HandleFunc("GET /reputation", func(w http.ResponseWriter, r *http.Request) {
 		if d.ledger == nil {
@@ -823,19 +884,65 @@ func (d *daemon) mux() *http.ServeMux {
 	return mux
 }
 
-// wantsJSON reports whether the client asked for the JSON form of a
-// dual-format endpoint, via ?format=json or an Accept header. The default
-// is Prometheus text so a stock scrape config works unconfigured.
-func wantsJSON(r *http.Request) bool {
-	if r.URL.Query().Get("format") == "json" {
-		return true
-	}
-	for _, accept := range r.Header.Values("Accept") {
-		if strings.Contains(accept, "application/json") {
-			return true
+// statusPayload assembles the /status operational overview: identity and
+// uptime, engine and freshness summary (quantiles, per-fleet lag), the
+// reputation gate census, and the durability recency signals.
+func (d *daemon) statusPayload() map[string]any {
+	st := d.engine.Stats()
+	byFleet := make(map[string]any, len(st.Freshness))
+	for name, ff := range st.Freshness {
+		byFleet[name] = map[string]any{
+			"watermark_slot":   ff.WatermarkSlot,
+			"window_lag":       ff.NextSeq - 1 - ff.LatestSeq,
+			"age_at_close":     pipeline.SummarizeFreshness(ff.AgeAtClose),
+			"ingest_to_result": pipeline.SummarizeFreshness(ff.IngestToResult),
 		}
 	}
-	return false
+	payload := map[string]any{
+		"status":   "ok",
+		"ready":    d.ready.Load(),
+		"uptime_s": time.Since(d.started).Seconds(),
+		"build":    buildInfo(time.Since(d.started)),
+		"engine": map[string]any{
+			"ingested":          st.Ingested,
+			"rejected":          st.Rejected,
+			"reports_stamped":   st.ReportsStamped,
+			"reports_unstamped": st.ReportsUnstamped,
+			"windows_closed":    st.WindowsClosed,
+			"windows_processed": st.WindowsProcessed,
+			"queue_depth":       st.QueueDepth,
+			"queue_capacity":    st.QueueCapacity,
+			"fleets":            st.Fleets,
+		},
+		"freshness": map[string]any{
+			"age_at_close":     pipeline.SummarizeFreshness(st.AgeAtClose),
+			"ingest_to_result": pipeline.SummarizeFreshness(st.IngestToResult),
+			"by_fleet":         byFleet,
+		},
+	}
+	if d.ledger != nil {
+		rs := d.ledger.Stats()
+		payload["reputation"] = map[string]any{
+			"fleets":         rs.Fleets,
+			"states":         rs.States,
+			"windows_folded": rs.Folded,
+		}
+	}
+	if d.dur != nil {
+		ws := d.dur.log.Stats()
+		cs := d.dur.stats()
+		payload["durability"] = map[string]any{
+			"data_dir":           d.dur.dir,
+			"fsync_policy":       d.dur.opt.Sync.String(),
+			"wal_last_append_us": ws.LastAppendUnixMicro,
+			"wal_last_fsync_us":  ws.LastFsyncUnixMicro,
+			"checkpoints":        cs,
+		}
+		if rec := d.recoveryState(); rec != nil {
+			payload["recovery"] = rec
+		}
+	}
+	return payload
 }
 
 // debugMux serves pprof and build info on the -debug-addr listener only,

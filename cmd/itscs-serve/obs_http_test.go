@@ -10,6 +10,7 @@ import (
 
 	"itscs/internal/mcs"
 	"itscs/internal/obs"
+	"itscs/internal/obs/obstest"
 	"itscs/internal/pipeline"
 	"itscs/internal/reputation"
 	"itscs/internal/wal"
@@ -117,6 +118,77 @@ func TestMetricsExposition(t *testing.T) {
 		if ct != "application/json" {
 			t.Errorf("JSON negotiation (header=%v): content type = %q", hdr, ct)
 		}
+	}
+}
+
+// TestMetricsConformance runs the shared negotiation contract against the
+// daemon — the same checker the router's suite runs, so the two /metrics
+// endpoints cannot drift apart on Content-Type handling.
+func TestMetricsConformance(t *testing.T) {
+	d := bootDaemon(t, daemonOptions{})
+	if err := obstest.CheckMetricsConformance("http://" + d.httpBound.String()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatusEndpoint checks the one-call health overview: always JSON,
+// always 200 while serving, engine counters and the freshness block present
+// and coherent with what was ingested.
+func TestStatusEndpoint(t *testing.T) {
+	opt := wal.DefaultOptions()
+	opt.Sync = wal.SyncInterval
+	d := bootDaemon(t, daemonOptions{
+		dur: &durability{dir: t.TempDir(), opt: opt, every: 2},
+	})
+	base := "http://" + d.httpBound.String()
+	if err := d.engine.Ingest(mcs.Report{Fleet: "cab", Participant: 0, Slot: 0, X: 1, Y: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	var st struct {
+		Status  string  `json:"status"`
+		Ready   bool    `json:"ready"`
+		UptimeS float64 `json:"uptime_s"`
+		Build   struct {
+			GoVersion string `json:"go_version"`
+		} `json:"build"`
+		Engine struct {
+			Ingested         uint64 `json:"ingested"`
+			ReportsStamped   uint64 `json:"reports_stamped"`
+			ReportsUnstamped uint64 `json:"reports_unstamped"`
+		} `json:"engine"`
+		Freshness struct {
+			AgeAtClose pipeline.FreshnessSummary `json:"age_at_close"`
+			ByFleet    map[string]any            `json:"by_fleet"`
+		} `json:"freshness"`
+		Durability struct {
+			DataDir     string `json:"data_dir"`
+			FsyncPolicy string `json:"fsync_policy"`
+		} `json:"durability"`
+	}
+	if status, err := getJSON(base+"/status", &st); err != nil || status != http.StatusOK {
+		t.Fatalf("/status: status %d err %v", status, err)
+	}
+	if st.Status != "ok" || !st.Ready || st.UptimeS < 0 {
+		t.Errorf("status header block = %+v", st)
+	}
+	if st.Build.GoVersion == "" {
+		t.Error("status missing build info")
+	}
+	if st.Engine.Ingested != 1 {
+		t.Errorf("engine.ingested = %d, want 1", st.Engine.Ingested)
+	}
+	// The direct engine feed bypasses every stamping door, so the report
+	// counts as unstamped — the partition must still hold.
+	if st.Engine.ReportsStamped+st.Engine.ReportsUnstamped != st.Engine.Ingested {
+		t.Errorf("stamped %d + unstamped %d != ingested %d",
+			st.Engine.ReportsStamped, st.Engine.ReportsUnstamped, st.Engine.Ingested)
+	}
+	if st.Freshness.ByFleet == nil {
+		t.Error("status missing freshness.by_fleet")
+	}
+	if st.Durability.DataDir == "" || st.Durability.FsyncPolicy == "" {
+		t.Errorf("durability block = %+v", st.Durability)
 	}
 }
 

@@ -6,16 +6,18 @@ import (
 	"sort"
 	"time"
 
+	"itscs/internal/metrics"
 	"itscs/internal/obs"
 	"itscs/internal/reputation"
 )
 
 // renderProm flattens the daemon's whole metrics payload into Prometheus
 // text exposition format 0.0.4. Every counter in pipeline.Stats, the WAL
-// and checkpointer state, the recovery summary, and the per-phase latency
-// histograms appear; maps are emitted in sorted key order so consecutive
-// scrapes are byte-stable for identical state.
-func renderProm(p metricsPayload, uptime time.Duration) []byte {
+// and checkpointer state, the recovery summary, the freshness histograms,
+// the Go runtime self-metrics, and the per-phase latency histograms appear;
+// maps are emitted in sorted key order so consecutive scrapes are
+// byte-stable for identical state.
+func renderProm(p metricsPayload, uptime time.Duration, rt *obs.Runtime) []byte {
 	b := obs.NewProm()
 
 	b.Gauge("itscs_build_info",
@@ -31,6 +33,10 @@ func renderProm(p metricsPayload, uptime time.Duration) []byte {
 	b.Counter("itscs_reports_duplicate_total", "Rejected reports targeting an already-filled cell.", float64(p.Duplicates))
 	b.Counter("itscs_reports_non_finite_total", "Rejected reports carrying NaN or infinite values.", float64(p.NonFinite))
 	b.Counter("itscs_reports_invalid_identity_total", "Reports refused at the ingest door for an empty fleet or negative participant.", float64(p.InvalidIdentity))
+	// Freshness partition: stamped + unstamped == ingested, always — replay
+	// must never re-stamp, so the split survives crash/recovery intact.
+	b.Counter("itscs_reports_stamped_total", "Ingested reports carrying an ingest freshness stamp.", float64(p.ReportsStamped))
+	b.Counter("itscs_reports_unstamped_total", "Ingested reports without a freshness stamp (pre-upgrade frames, direct engine feeds).", float64(p.ReportsUnstamped))
 
 	// Admission-gate counters. The gate tags, it never drops:
 	// admitted_clean + tagged_quarantined + tagged_probation == ingested.
@@ -66,6 +72,29 @@ func renderProm(p metricsPayload, uptime time.Duration) []byte {
 			p.PhaseLatency[phase], obs.Label{Name: "phase", Value: phase})
 	}
 
+	// End-to-end freshness histograms, engine-wide and by fleet. Both run on
+	// the wide AgeBuckets scheme (50 ms – 4 h): report age legitimately spans
+	// most of a window length, and recovery replay surfaces hours-old stamps.
+	b.HistogramBounds("itscs_freshness_age_at_close_seconds",
+		"Age of each stamped report when its window closed (window close time minus ingest stamp).",
+		metrics.AgeBuckets, p.AgeAtClose)
+	b.HistogramBounds("itscs_freshness_ingest_to_result_seconds",
+		"Ingest-to-result latency of each stamped report (detection completion minus ingest stamp).",
+		metrics.AgeBuckets, p.IngestToResult)
+	for _, fleet := range sortedKeys(p.Freshness) {
+		ff := p.Freshness[fleet]
+		lbl := obs.Label{Name: "fleet", Value: fleet}
+		b.HistogramBounds("itscs_fleet_freshness_age_at_close_seconds",
+			"Report age at window close, by fleet.", metrics.AgeBuckets, ff.AgeAtClose, lbl)
+		b.HistogramBounds("itscs_fleet_freshness_ingest_to_result_seconds",
+			"Ingest-to-result latency, by fleet.", metrics.AgeBuckets, ff.IngestToResult, lbl)
+		b.Gauge("itscs_fleet_watermark_slot",
+			"Highest slot the fleet's stream has reached.", float64(ff.WatermarkSlot), lbl)
+		b.Gauge("itscs_fleet_window_lag",
+			"Windows closed but not yet completed for the fleet.",
+			float64(ff.NextSeq-1-ff.LatestSeq), lbl)
+	}
+
 	if p.WAL != nil {
 		w := p.WAL
 		b.Counter("itscs_wal_records_total", "Records appended to the write-ahead log.", float64(w.Records))
@@ -80,10 +109,21 @@ func renderProm(p metricsPayload, uptime time.Duration) []byte {
 		b.Counter("itscs_wal_truncated_bytes_total", "Torn-tail bytes cut off the final segment at open.", float64(w.TruncatedBytes))
 		b.Counter("itscs_wal_replayed_records_total", "Records replayed from the log at startup.", float64(w.Replayed))
 		b.Counter("itscs_wal_replay_skipped_records_total", "Records lost inside damaged regions during replay.", float64(w.ReplaySkipped))
+		// Recency pair: how stale the durable tail could be. 0 until the
+		// first append (or fsync) after start.
+		b.Gauge("itscs_wal_last_append_timestamp_seconds",
+			"Unix time of the newest record appended to the write-ahead log.",
+			float64(w.LastAppendUnixMicro)/1e6)
+		b.Gauge("itscs_wal_last_fsync_timestamp_seconds",
+			"Unix time of the write-ahead log's newest completed fsync.",
+			float64(w.LastFsyncUnixMicro)/1e6)
 	}
 	if p.Checkpoints != nil {
 		b.Counter("itscs_checkpoints_written_total", "Shard checkpoints persisted.", float64(p.Checkpoints.Written))
 		b.Counter("itscs_checkpoint_errors_total", "Checkpoint attempts that failed.", float64(p.Checkpoints.Errors))
+		b.Gauge("itscs_checkpoint_last_timestamp_seconds",
+			"Unix time the newest checkpoint finished (0 before the first).",
+			float64(p.Checkpoints.LastUnixMicro)/1e6)
 	}
 	if p.Reputation != nil {
 		rep := p.Reputation
@@ -114,6 +154,7 @@ func renderProm(p metricsPayload, uptime time.Duration) []byte {
 		b.Gauge("itscs_recovery_replay_rejected", "Replayed records the engine refused.", float64(r.ReplayRejected))
 		b.Gauge("itscs_recovery_duration_seconds", "Wall-clock time recovery took.", r.DurationS)
 	}
+	rt.Emit(b, "itscs_")
 	return b.Bytes()
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"itscs/internal/cluster"
 	"itscs/internal/mcs"
+	"itscs/internal/obs"
 	"itscs/internal/pipeline"
 	"itscs/internal/reputation"
 	"itscs/internal/wal"
@@ -295,6 +296,43 @@ func (b *Backend) mux() *http.ServeMux {
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, b.engine.Stats())
+	})
+	mux.HandleFunc("GET /trace/{fleet}", func(w http.ResponseWriter, r *http.Request) {
+		fleet := r.PathValue("fleet")
+		if idStr := r.URL.Query().Get("id"); idStr != "" {
+			id, err := obs.ParseTraceID(idStr)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+				return
+			}
+			tr, ok := b.engine.FindTrace(fleet, id)
+			if !ok {
+				writeJSON(w, http.StatusNotFound, map[string]any{"error": "no such trace"})
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"fleet": fleet, "traces": []obs.Trace{tr}})
+			return
+		}
+		traces, err := b.engine.Traces(fleet)
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+			return
+		}
+		spans, _ := b.engine.Trace(fleet)
+		writeJSON(w, http.StatusOK, map[string]any{"fleet": fleet, "traces": traces, "spans": spans})
+	})
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		st := b.engine.Stats()
+		freshness := map[string]any{
+			"age_at_close":     pipeline.SummarizeFreshness(st.AgeAtClose),
+			"ingest_to_result": pipeline.SummarizeFreshness(st.IngestToResult),
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":    "ok",
+			"ready":     b.ready.Load(),
+			"engine":    st,
+			"freshness": freshness,
+		})
 	})
 	mux.HandleFunc("GET /reputation", func(w http.ResponseWriter, r *http.Request) {
 		if b.ledger == nil {

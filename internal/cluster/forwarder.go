@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"itscs/internal/fault"
 	"itscs/internal/mcs"
 	"itscs/internal/obs"
 )
@@ -31,6 +32,9 @@ type ForwarderOptions struct {
 	Ready func(name string) bool
 	// Log receives unroutable-report events (nil discards).
 	Log *slog.Logger
+	// Clock supplies the ingest freshness stamps the forwarder applies at
+	// the router's door (default Client.Clock, else the wall clock).
+	Clock fault.Clock
 }
 
 // ForwarderStats snapshots the forwarding data plane. Forwarded +
@@ -63,6 +67,7 @@ type Forwarder struct {
 	ring    *Ring
 	ready   func(string) bool
 	log     *slog.Logger
+	clock   fault.Clock
 	clients map[string]*mcs.Client
 
 	forwarded       atomic.Uint64
@@ -79,6 +84,7 @@ func NewForwarder(backends []Backend, ring *Ring, opt ForwarderOptions) *Forward
 		ring:    ring,
 		ready:   opt.Ready,
 		log:     opt.Log,
+		clock:   opt.Clock,
 		clients: make(map[string]*mcs.Client, len(backends)),
 	}
 	if f.ready == nil {
@@ -86,6 +92,12 @@ func NewForwarder(backends []Backend, ring *Ring, opt ForwarderOptions) *Forward
 	}
 	if f.log == nil {
 		f.log = obs.Discard()
+	}
+	if f.clock == nil {
+		f.clock = opt.Client.Clock
+	}
+	if f.clock == nil {
+		f.clock = fault.RealClock()
 	}
 	for i, b := range backends {
 		ring.Add(b.Name)
@@ -117,6 +129,10 @@ func (f *Forwarder) Ingest(r mcs.Report) error {
 		f.log.Debug("report unroutable", "fleet", r.Fleet, "owner", owner)
 		return fmt.Errorf("%w: fleet %q owner %s ejected", ErrNoBackend, r.Fleet, owner)
 	}
+	// Stamp at the door: freshness is measured from the moment the system
+	// first accepted the report. StampIngest no-ops on an already-stamped
+	// report, so a relay hop never resets the clock.
+	mcs.StampIngest(&r, f.clock.Now(), mcs.OriginRouter)
 	if err := f.clients[owner].Send(r); err != nil {
 		f.unroutable.Add(1)
 		return err

@@ -274,6 +274,71 @@ func mergeLedgerStats(dst *reputation.LedgerStats, src reputation.LedgerStats) {
 	})
 }
 
+// BackendTraces is one backend's /trace answer (verbatim JSON), or the
+// reason it is missing.
+type BackendTraces struct {
+	Backend string          `json:"backend"`
+	Err     string          `json:"err,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// ClusterTraces is the merged answer to GET /trace/{fleet} across the
+// cluster, each backend's contribution attributed. The fleet's ring owner
+// holds the live traces, but after a ring move (or with an ID retained only
+// pre-move) another backend may still hold the record, so the lookup asks
+// everyone rather than trusting placement.
+type ClusterTraces struct {
+	Fleet    string          `json:"fleet"`
+	Backends []BackendTraces `json:"backends"`
+}
+
+// TraceFleet fans GET /trace/{fleet} (with the given raw query, e.g.
+// "id=74b1…") out to every backend and returns the attributed answers. A
+// backend that does not know the fleet (404) or retains no such trace is
+// reported under Err rather than failing the merge.
+func (q *Query) TraceFleet(ctx context.Context, fleet, rawQuery string) ClusterTraces {
+	path := "/trace/" + fleet
+	if rawQuery != "" {
+		path += "?" + rawQuery
+	}
+	out := ClusterTraces{Fleet: fleet}
+	for _, r := range q.fanout(ctx, path, false) {
+		bt := BackendTraces{Backend: r.backend}
+		if r.err != nil {
+			bt.Err = r.err.Error()
+		} else {
+			bt.Payload = json.RawMessage(r.body)
+		}
+		out.Backends = append(out.Backends, bt)
+	}
+	return out
+}
+
+// StatusReport is one backend's /status answer (verbatim JSON), or the
+// reason it is missing. (BackendStatus is the prober's health record.)
+type StatusReport struct {
+	Backend string          `json:"backend"`
+	Err     string          `json:"err,omitempty"`
+	Status  json.RawMessage `json:"status,omitempty"`
+}
+
+// Status fans GET /status out to every backend — ejected ones included,
+// since an unhealthy backend's self-description is exactly what an operator
+// wants during an incident — and returns the attributed answers.
+func (q *Query) Status(ctx context.Context) []StatusReport {
+	var out []StatusReport
+	for _, r := range q.fanout(ctx, "/status", false) {
+		bs := StatusReport{Backend: r.backend}
+		if r.err != nil {
+			bs.Err = r.err.Error()
+		} else {
+			bs.Status = json.RawMessage(r.body)
+		}
+		out = append(out, bs)
+	}
+	return out
+}
+
 type fanResult struct {
 	backend string
 	body    []byte
@@ -320,6 +385,8 @@ func MergeStats(dst *pipeline.Stats, src pipeline.Stats) {
 	dst.Late += src.Late
 	dst.Duplicates += src.Duplicates
 	dst.NonFinite += src.NonFinite
+	dst.ReportsStamped += src.ReportsStamped
+	dst.ReportsUnstamped += src.ReportsUnstamped
 	dst.AdmittedClean += src.AdmittedClean
 	dst.TaggedQuarantined += src.TaggedQuarantined
 	dst.TaggedProbation += src.TaggedProbation
@@ -346,6 +413,17 @@ func MergeStats(dst *pipeline.Stats, src pipeline.Stats) {
 			dst.PhaseLatency = make(map[string]pipeline.HistogramSnapshot)
 		}
 		dst.PhaseLatency[phase] = mergeHistogram(dst.PhaseLatency[phase], h)
+	}
+	dst.AgeAtClose = mergeHistogram(dst.AgeAtClose, src.AgeAtClose)
+	dst.IngestToResult = mergeHistogram(dst.IngestToResult, src.IngestToResult)
+	// Fleets shard whole, so per-fleet freshness unions without collisions
+	// (after a ring move both owners may briefly report the fleet; the
+	// merge keeps whichever answered last, a transient either way).
+	for fleet, ff := range src.Freshness {
+		if dst.Freshness == nil {
+			dst.Freshness = make(map[string]pipeline.FleetFreshness)
+		}
+		dst.Freshness[fleet] = ff
 	}
 }
 

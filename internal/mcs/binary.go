@@ -7,7 +7,9 @@ import (
 )
 
 // Binary report encoding, used as the payload of one write-ahead-log frame.
-// Layout (all little-endian):
+// Two layouts share the wire (all little-endian):
+//
+// v1 — an unstamped report:
 //
 //	uvarint  fleet length, then that many bytes of fleet ID
 //	uvarint  participant
@@ -16,6 +18,23 @@ import (
 //	8 bytes  Y
 //	8 bytes  VX
 //	8 bytes  VY
+//
+// v2 — a report carrying a freshness stamp:
+//
+//	0xFF 0x7F  version sentinel (see below)
+//	uvarint    format version (2)
+//	…v1 body…
+//	uvarint    IngestUnixMicro
+//	1 byte     Origin
+//	8 bytes    TraceID
+//
+// The sentinel makes the two layouts unambiguous: read as a v1 fleet
+// length, the bytes {0xFF, 0x7F} decode to 16383, which exceeds
+// maxFleetLen, so no valid v1 frame can begin with them. Unstamped reports
+// still encode as plain v1, so pre-upgrade logs, fuzz corpora and mixed
+// clusters keep byte-identical round trips, and old decoders keep reading
+// everything a stamp-free writer produces. Old v1 frames decode with a
+// zero stamp.
 //
 // The encoding is self-delimiting, so frames need only protect it with a
 // length and checksum. Payload values round-trip bit-exactly, including the
@@ -28,9 +47,29 @@ import (
 // byte from driving a huge allocation.
 const maxFleetLen = 1 << 10
 
+// binVersionStamped is the wire version of the stamped (v2) layout.
+const binVersionStamped = 2
+
+// binSentinel prefixes every versioned (v2+) frame.
+var binSentinel = [2]byte{0xFF, 0x7F}
+
 // AppendBinary appends the report's binary encoding to dst and returns the
-// extended slice.
+// extended slice. Unstamped reports use the v1 layout; a report with any
+// stamp field set uses v2.
 func (r Report) AppendBinary(dst []byte) []byte {
+	if r.IngestUnixMicro == 0 && r.Origin == OriginUnknown && r.TraceID == 0 {
+		return r.appendBodyV1(dst)
+	}
+	dst = append(dst, binSentinel[0], binSentinel[1])
+	dst = binary.AppendUvarint(dst, binVersionStamped)
+	dst = r.appendBodyV1(dst)
+	dst = binary.AppendUvarint(dst, uint64(r.IngestUnixMicro))
+	dst = append(dst, byte(r.Origin))
+	dst = binary.LittleEndian.AppendUint64(dst, r.TraceID)
+	return dst
+}
+
+func (r Report) appendBodyV1(dst []byte) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(r.Fleet)))
 	dst = append(dst, r.Fleet...)
 	dst = binary.AppendUvarint(dst, uint64(r.Participant))
@@ -42,10 +81,50 @@ func (r Report) AppendBinary(dst []byte) []byte {
 }
 
 // DecodeBinary parses one binary-encoded report from the front of b,
-// returning the number of bytes consumed. It never panics on malformed
-// input and rejects trailing garbage only implicitly (callers compare n to
-// the frame's payload length).
+// returning the number of bytes consumed. It accepts both layouts — v1
+// frames yield a zero stamp — and rejects unknown future versions. It
+// never panics on malformed input and rejects trailing garbage only
+// implicitly (callers compare n to the frame's payload length).
 func DecodeBinary(b []byte) (r Report, n int, err error) {
+	if len(b) >= 2 && b[0] == binSentinel[0] && b[1] == binSentinel[1] {
+		return decodeStamped(b)
+	}
+	return decodeBodyV1(b)
+}
+
+func decodeStamped(b []byte) (r Report, n int, err error) {
+	n = 2 // sentinel
+	v, k := binary.Uvarint(b[n:])
+	if k <= 0 {
+		return Report{}, 0, fmt.Errorf("mcs: bad version in binary report")
+	}
+	if v != binVersionStamped {
+		return Report{}, 0, fmt.Errorf("mcs: unsupported binary report version %d", v)
+	}
+	n += k
+	r, k, err = decodeBodyV1(b[n:])
+	if err != nil {
+		return Report{}, 0, err
+	}
+	n += k
+
+	us, k := binary.Uvarint(b[n:])
+	if k <= 0 {
+		return Report{}, 0, fmt.Errorf("mcs: bad ingest stamp in binary report")
+	}
+	r.IngestUnixMicro = int64(us)
+	n += k
+	if len(b)-n < 1+8 {
+		return Report{}, 0, fmt.Errorf("mcs: truncated stamp in binary report")
+	}
+	r.Origin = Origin(b[n])
+	n++
+	r.TraceID = binary.LittleEndian.Uint64(b[n:])
+	n += 8
+	return r, n, nil
+}
+
+func decodeBodyV1(b []byte) (r Report, n int, err error) {
 	flen, k := binary.Uvarint(b)
 	if k <= 0 || flen > maxFleetLen {
 		return Report{}, 0, fmt.Errorf("mcs: bad fleet length in binary report")

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"itscs/internal/mat"
 )
@@ -42,6 +43,61 @@ type Report struct {
 	// VX, VY are the reported instantaneous velocity components in m/s.
 	VX float64 `json:"vx"`
 	VY float64 `json:"vy"`
+
+	// IngestUnixMicro is the freshness stamp: the wall-clock instant
+	// (microseconds since the Unix epoch) at which the report first crossed
+	// a network front door. Zero means unstamped — a pre-upgrade frame or an
+	// embedded sink that bypassed the doors. The doors stamp exactly once
+	// (StampIngest is a no-op on a stamped report), so replaying a durable
+	// record preserves the original instant and freshness accounting never
+	// double-counts queueing or recovery time.
+	IngestUnixMicro int64 `json:"ingest_us,omitempty"`
+	// Origin records which door stamped the report (OriginDirect for the
+	// itscs-serve ingest listener, OriginRouter for the itscs-router
+	// forwarder); OriginUnknown when unstamped.
+	Origin Origin `json:"origin,omitempty"`
+	// TraceID links the report to its end-to-end trace (ingest →
+	// wal-commit → window close → detect → publish). Zero means untraced.
+	TraceID uint64 `json:"trace_id,omitempty"`
+}
+
+// Origin identifies the network front door that stamped a report.
+type Origin uint8
+
+// Origin values, in wire order. New doors append; never renumber.
+const (
+	OriginUnknown Origin = iota
+	OriginDirect         // stamped by the itscs-serve ingest listener
+	OriginRouter         // stamped by the itscs-router forwarder
+)
+
+// String names the origin for statuses and traces.
+func (o Origin) String() string {
+	switch o {
+	case OriginDirect:
+		return "direct"
+	case OriginRouter:
+		return "router"
+	}
+	return "unknown"
+}
+
+// Stamped reports whether the report carries an ingest freshness stamp.
+func (r Report) Stamped() bool { return r.IngestUnixMicro != 0 }
+
+// StampIngest fills the freshness stamp and origin, and assigns a trace ID
+// if the report has none. It is a no-op on an already-stamped report, which
+// is what keeps stamps exactly-once across door hops (router → serve) and
+// across WAL replay.
+func StampIngest(r *Report, now time.Time, origin Origin) {
+	if r.IngestUnixMicro != 0 {
+		return
+	}
+	r.IngestUnixMicro = now.UnixMicro()
+	r.Origin = origin
+	if r.TraceID == 0 {
+		r.TraceID = NextTraceID()
+	}
 }
 
 // Validate reports range errors against a collector of the given shape and

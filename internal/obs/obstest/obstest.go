@@ -1,0 +1,178 @@
+// Package obstest holds observability conformance checks shared by the
+// daemons' test suites, so itscs-serve and itscs-router cannot drift apart
+// on the /metrics contract: Content-Type negotiation, ?format=json and
+// Accept parity, and a lint-clean Prometheus text exposition.
+package obstest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"itscs/internal/obs"
+)
+
+// CheckMetricsConformance scrapes baseURL's /metrics endpoint every way a
+// client legitimately can and verifies the shared contract:
+//
+//   - default GET serves the Prometheus text exposition with the exact
+//     version 0.0.4 Content-Type, and the body passes the format linter;
+//   - ?format=json serves an application/json object;
+//   - Accept: application/json (including as a non-first media type and as
+//     a repeated header) serves the same JSON object;
+//   - an unrelated Accept still serves Prometheus text.
+//
+// It returns the first violation found, nil when conformant.
+func CheckMetricsConformance(baseURL string) error {
+	url := strings.TrimRight(baseURL, "/") + "/metrics"
+
+	body, ct, err := get(url, nil)
+	if err != nil {
+		return err
+	}
+	if ct != obs.PromContentType {
+		return fmt.Errorf("default /metrics Content-Type = %q, want %q", ct, obs.PromContentType)
+	}
+	if err := obs.LintExposition(body); err != nil {
+		return fmt.Errorf("default /metrics exposition: %w", err)
+	}
+
+	jsonCases := []struct {
+		name   string
+		url    string
+		header http.Header
+	}{
+		{"?format=json", url + "?format=json", nil},
+		{"Accept: application/json", url, http.Header{"Accept": {"application/json"}}},
+		{"Accept with q-list", url, http.Header{"Accept": {"text/html, application/json;q=0.9"}}},
+		{"repeated Accept", url, http.Header{"Accept": {"text/html", "application/json"}}},
+	}
+	for _, c := range jsonCases {
+		body, ct, err := get(c.url, c.header)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		if !strings.HasPrefix(ct, "application/json") {
+			return fmt.Errorf("%s Content-Type = %q, want application/json", c.name, ct)
+		}
+		var payload map[string]json.RawMessage
+		if err := json.Unmarshal(body, &payload); err != nil {
+			return fmt.Errorf("%s body is not a JSON object: %w", c.name, err)
+		}
+	}
+
+	body, ct, err = get(url, http.Header{"Accept": {"text/plain"}})
+	if err != nil {
+		return fmt.Errorf("Accept text/plain: %w", err)
+	}
+	if ct != obs.PromContentType {
+		return fmt.Errorf("Accept text/plain Content-Type = %q, want %q", ct, obs.PromContentType)
+	}
+	if err := obs.LintExposition(body); err != nil {
+		return fmt.Errorf("Accept text/plain exposition: %w", err)
+	}
+	return nil
+}
+
+// SeriesNames extracts every declared series from a Prometheus text
+// exposition as sorted "name kind" lines, one per # TYPE declaration. This
+// is the drift-gate fingerprint: values and labels vary run to run, but the
+// set of series names a binary exports is part of its operational contract.
+func SeriesNames(exposition []byte) []string {
+	var names []string
+	for _, line := range strings.Split(string(exposition), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 4 && fields[0] == "#" && fields[1] == "TYPE" {
+			names = append(names, fields[2]+" "+fields[3])
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CheckGoldenSeries compares the exposition's series fingerprint against
+// the golden list at goldenPath (one "name kind" per line). With update set
+// it rewrites the golden instead of comparing — the documented path for an
+// intentional metrics change: go test ./cmd/<binary>/ -run TestMetricsDrift -update.
+// Renamed or silently dropped series fail with a line-level diff.
+func CheckGoldenSeries(goldenPath string, exposition []byte, update bool) error {
+	got := SeriesNames(exposition)
+	if update {
+		data := strings.Join(got, "\n") + "\n"
+		if err := os.MkdirAll(strings.TrimSuffix(goldenPath, "/"+lastSegment(goldenPath)), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(goldenPath, []byte(data), 0o644)
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		return fmt.Errorf("reading golden series list (run with -update to create it): %w", err)
+	}
+	var want []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			want = append(want, line)
+		}
+	}
+	gotSet, wantSet := toSet(got), toSet(want)
+	var diff []string
+	for _, name := range want {
+		if !gotSet[name] {
+			diff = append(diff, "- "+name+" (dropped or renamed)")
+		}
+	}
+	for _, name := range got {
+		if !wantSet[name] {
+			diff = append(diff, "+ "+name+" (new, not in golden)")
+		}
+	}
+	if len(diff) > 0 {
+		return fmt.Errorf("metric series drift against %s — if intentional, re-run with -update and review the diff:\n%s",
+			goldenPath, strings.Join(diff, "\n"))
+	}
+	return nil
+}
+
+func toSet(names []string) map[string]bool {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	return set
+}
+
+func lastSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func get(url string, header http.Header) (body []byte, contentType string, err error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return body, resp.Header.Get("Content-Type"), nil
+}

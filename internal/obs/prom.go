@@ -51,9 +51,18 @@ func (p *Prom) Gauge(name, help string, value float64, labels ...Label) {
 // le="0.064". Buckets are cumulative and always include the full fixed
 // scheme plus le="+Inf", so scrapes are shape-stable even when empty.
 func (p *Prom) Histogram(name, help string, s metrics.HistogramSnapshot, labels ...Label) {
+	p.HistogramBounds(name, help, metrics.HistBuckets[:], s, labels...)
+}
+
+// HistogramBounds renders a histogram snapshot over an explicit
+// millisecond bucket scheme (metrics.BoundedHistogram snapshots pair with
+// the bounds they were built over, e.g. metrics.AgeBuckets for the
+// freshness histograms). Unit conversion and shape stability match
+// Histogram.
+func (p *Prom) HistogramBounds(name, help string, boundsMS []int64, s metrics.HistogramSnapshot, labels ...Label) {
 	p.header(name, help, "histogram")
 	var cum uint64
-	for _, boundMS := range metrics.HistBuckets {
+	for _, boundMS := range boundsMS {
 		cum += s.Buckets[boundMS]
 		p.sample(name+"_bucket", withLabel(labels, "le", formatFloat(float64(boundMS)/1000)), float64(cum))
 	}
@@ -61,6 +70,28 @@ func (p *Prom) Histogram(name, help string, s metrics.HistogramSnapshot, labels 
 	p.sample(name+"_bucket", withLabel(labels, "le", "+Inf"), float64(cum))
 	p.sample(name+"_sum", labels, s.SumMS/1000)
 	p.sample(name+"_count", labels, float64(s.Count))
+}
+
+// HistogramRaw renders a pre-aggregated histogram whose bounds are already
+// in seconds. counts holds one entry per bound plus a trailing overflow
+// bucket; sumS is the observation sum in seconds. The runtime self-metrics
+// (GC pause histogram) use it because their source data never passes
+// through a metrics.Histogram.
+func (p *Prom) HistogramRaw(name, help string, boundsS []float64, counts []uint64, sumS float64, count uint64, labels ...Label) {
+	p.header(name, help, "histogram")
+	var cum uint64
+	for i, bound := range boundsS {
+		if i < len(counts) {
+			cum += counts[i]
+		}
+		p.sample(name+"_bucket", withLabel(labels, "le", formatFloat(bound)), float64(cum))
+	}
+	if len(counts) > len(boundsS) {
+		cum += counts[len(boundsS)]
+	}
+	p.sample(name+"_bucket", withLabel(labels, "le", "+Inf"), float64(cum))
+	p.sample(name+"_sum", labels, sumS)
+	p.sample(name+"_count", labels, float64(count))
 }
 
 // Bytes returns the exposition built so far.

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"log/slog"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// gcPauseBoundsS are the GC pause histogram bounds in seconds: sub-100 µs
+// pauses are the Go collector's healthy regime, tens of milliseconds mean
+// the stop-the-world phases are interfering with window deadlines.
+var gcPauseBoundsS = []float64{
+	50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3,
+}
+
+// Runtime accumulates Go runtime self-metrics for a daemon's /metrics
+// exposition: goroutine count, heap shape, GC cycles, and a cumulative GC
+// pause histogram. Safe for concurrent use; one instance per process.
+//
+// The pause histogram has to be folded incrementally: runtime.MemStats
+// only retains the last 256 pauses, so Emit tracks the newest GC cycle it
+// has seen and folds only the pauses that happened since, keeping the
+// exposed histogram monotone across scrapes no matter the scrape interval.
+type Runtime struct {
+	mu          sync.Mutex
+	lastNumGC   uint32
+	pauseCounts []uint64 // len(gcPauseBoundsS)+1, overflow last
+	pauseSumS   float64
+	pauseN      uint64
+}
+
+// NewRuntime returns a runtime self-metrics accumulator.
+func NewRuntime() *Runtime {
+	return &Runtime{pauseCounts: make([]uint64, len(gcPauseBoundsS)+1)}
+}
+
+// Emit folds the runtime state since the previous call and appends the
+// self-metric series to p, each named with the given prefix (for example
+// "itscs_" yields itscs_go_goroutines).
+func (rt *Runtime) Emit(p *Prom, prefix string) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+
+	rt.mu.Lock()
+	// Fold pauses for GC cycles (lastNumGC, NumGC]; PauseNs is a ring
+	// indexed by (cycle-1)%256, and cycles more than 256 back are gone.
+	from := rt.lastNumGC + 1
+	if m.NumGC > 256 && from < m.NumGC-255 {
+		from = m.NumGC - 255
+	}
+	for k := from; k <= m.NumGC; k++ {
+		pauseS := float64(m.PauseNs[(k+255)%256]) / 1e9
+		i := 0
+		for ; i < len(gcPauseBoundsS); i++ {
+			if pauseS <= gcPauseBoundsS[i] {
+				break
+			}
+		}
+		rt.pauseCounts[i]++
+		rt.pauseSumS += pauseS
+		rt.pauseN++
+	}
+	rt.lastNumGC = m.NumGC
+	counts := append([]uint64(nil), rt.pauseCounts...)
+	sumS, n := rt.pauseSumS, rt.pauseN
+	rt.mu.Unlock()
+
+	p.Gauge(prefix+"go_goroutines", "Current number of goroutines.", float64(runtime.NumGoroutine()))
+	p.Gauge(prefix+"go_heap_alloc_bytes", "Heap bytes allocated and still in use.", float64(m.HeapAlloc))
+	p.Gauge(prefix+"go_heap_sys_bytes", "Heap bytes obtained from the OS.", float64(m.HeapSys))
+	p.Gauge(prefix+"go_heap_objects", "Number of allocated heap objects.", float64(m.HeapObjects))
+	p.Counter(prefix+"go_gc_cycles_total", "Completed GC cycles.", float64(m.NumGC))
+	p.HistogramRaw(prefix+"go_gc_pause_seconds", "Stop-the-world GC pause durations.",
+		gcPauseBoundsS, counts, sumS, n)
+}
+
+// BuildInfoAttrs returns the module path, version, Go toolchain and VCS
+// revision as slog attrs, for the startup banner both daemons emit. Values
+// default to "unknown" when the binary was built without module or VCS
+// metadata, so the banner's shape is stable.
+func BuildInfoAttrs() []slog.Attr {
+	module, version, revision := "unknown", "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Path != "" {
+			module = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				revision = s.Value
+			}
+		}
+	}
+	return []slog.Attr{
+		slog.String("module", module),
+		slog.String("version", version),
+		slog.String("revision", revision),
+		slog.String("go", runtime.Version()),
+	}
+}

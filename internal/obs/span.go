@@ -38,6 +38,10 @@ type Span struct {
 	RunMS       float64 `json:"run_ms"`
 	// CompletedAt stamps when the worker finished the window.
 	CompletedAt time.Time `json:"completed_at"`
+	// TraceID is an exemplar: the hex trace ID of one stamped report this
+	// window consumed, linking the window span to its end-to-end Trace.
+	// Empty when the window held no traced reports.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // TotalMS is the window's end-to-end latency: queue wait plus detection.
@@ -62,6 +66,7 @@ func (s Span) LogValue() slog.Value {
 		slog.Float64("correct_ms", s.CorrectMS),
 		slog.Float64("check_ms", s.CheckMS),
 		slog.Float64("run_ms", s.RunMS),
+		slog.String("trace_id", s.TraceID),
 	)
 }
 

@@ -31,6 +31,7 @@ import (
 	"itscs/internal/csrecon"
 	"itscs/internal/fault"
 	"itscs/internal/mat"
+	"itscs/internal/metrics"
 	"itscs/internal/mcs"
 	"itscs/internal/obs"
 	"itscs/internal/wal"
@@ -258,6 +259,11 @@ type job struct {
 	start    int
 	observed int
 	in       core.Input
+	// stamps snapshots the window's ingest stamps (unix micros, 0 for
+	// unstamped cells) so the worker can observe ingest→result latency;
+	// traceID is the exemplar trace linked at window close (0 if none).
+	stamps   *mat.Dense
+	traceID  uint64
 	enqueued time.Time
 }
 
@@ -274,6 +280,12 @@ type shard struct {
 
 	sx, sy, vx, vy, ex *mat.Dense
 
+	// ts mirrors the rings with each cell's ingest stamp in unix micros
+	// (as float64 — exact until 2255), 0 where unstamped. It slides and
+	// zeroes with the other five and is checkpointed alongside them, so
+	// freshness accounting survives crash/recovery without re-stamping.
+	ts *mat.Dense
+
 	// warm carries the factors of the newest processed window (guarded by
 	// mu; warmSeq orders concurrent workers), latest the newest result.
 	warm    *core.WarmState
@@ -281,9 +293,16 @@ type shard struct {
 	latest  *WindowResult
 
 	// dropped counts this fleet's windows evicted under backpressure;
-	// spans retains the fleet's most recent trace records.
+	// spans retains the fleet's most recent trace records and traces the
+	// end-to-end stage records of recent stamped reports.
 	dropped atomic.Uint64
 	spans   *obs.Ring
+	traces  *obs.TraceTable
+
+	// ageAtClose and ingestToResult are the fleet-local freshness
+	// histograms (the engine-wide pair lives in counters).
+	ageAtClose     *metrics.BoundedHistogram
+	ingestToResult *metrics.BoundedHistogram
 }
 
 // Engine is the streaming detection engine. It implements mcs.Ingestor, so
@@ -343,6 +362,8 @@ func New(cfg Config) (*Engine, error) {
 		queue:  make(chan job, cfg.QueueDepth),
 		subs:   make(map[int]chan *WindowResult),
 	}
+	e.c.ageAtClose = metrics.NewBoundedHistogram(metrics.AgeBuckets)
+	e.c.ingestToResult = metrics.NewBoundedHistogram(metrics.AgeBuckets)
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go e.worker()
@@ -418,6 +439,22 @@ func (e *Engine) ingest(r mcs.Report, replay bool) error {
 		return err
 	}
 	e.c.ingested.Add(1)
+	if r.Stamped() {
+		e.c.stamped.Add(1)
+		// Open (or on replay, re-find) the report's end-to-end trace. The
+		// ingest stage carries the door's stamp time, not ours; the engine
+		// never stamps, so replay re-delivers the original timeline.
+		sh.traces.Begin(r.TraceID, r.Fleet, r.Participant, r.Slot, r.Origin.String(), r.IngestUnixMicro)
+		if e.cfg.Log != nil || replay {
+			detail := ""
+			if replay {
+				detail = "replay"
+			}
+			sh.traces.Stage(r.TraceID, "wal_commit", detail, e.cfg.Clock.Now().UnixMicro())
+		}
+	} else {
+		e.c.unstamped.Add(1)
+	}
 	if e.cfg.Gate == nil {
 		e.c.admittedClean.Add(1)
 	} else {
@@ -452,7 +489,7 @@ func (e *Engine) Flush(fleet string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownFleet, fleet)
 	}
 	sh.mu.Lock()
-	j, ok := sh.closeWindow(e.cfg)
+	j, ok := sh.closeWindow(e.cfg, &e.c)
 	sh.mu.Unlock()
 	e.c.windowsClosed.Add(1)
 	if !ok {
@@ -494,7 +531,7 @@ func (e *Engine) shutdown(drain bool) {
 		// betray the transport's acknowledgements.
 		for _, sh := range e.allShards() {
 			sh.mu.Lock()
-			j, ok := sh.closeWindow(e.cfg)
+			j, ok := sh.closeWindow(e.cfg, &e.c)
 			sh.mu.Unlock()
 			e.c.windowsClosed.Add(1)
 			if ok {
@@ -580,6 +617,7 @@ func (e *Engine) Checkpoint() (*wal.Checkpoint, error) {
 			VX:      sh.vx.Clone(),
 			VY:      sh.vy.Clone(),
 			EX:      sh.ex.Clone(),
+			TS:      sh.ts.Clone(),
 		}
 		if sh.warm != nil {
 			sc.WarmLX, sc.WarmRX = sh.warm.X.L.Clone(), sh.warm.X.R.Clone()
@@ -615,6 +653,14 @@ func (e *Engine) Restore(ck *wal.Checkpoint) error {
 					ErrNotRestorable, sc.Fleet, name, mr, mc, n, capSlots)
 			}
 		}
+		// TS is absent from pre-v3 checkpoints; a nil stamp ring restores as
+		// all-unstamped rather than failing recovery of otherwise-good state.
+		if sc.TS != nil {
+			if mr, mc := sc.TS.Dims(); mr != n || mc != capSlots {
+				return fmt.Errorf("%w: shard %q ring TS is %dx%d, want %dx%d",
+					ErrNotRestorable, sc.Fleet, mr, mc, n, capSlots)
+			}
+		}
 	}
 	if len(ck.Shards) > e.cfg.MaxFleets {
 		return fmt.Errorf("%w: checkpoint holds %d shards, max-fleets is %d",
@@ -633,16 +679,23 @@ func (e *Engine) Restore(ck *wal.Checkpoint) error {
 	for i := range ck.Shards {
 		sc := &ck.Shards[i]
 		sh := &shard{
-			fleet:   sc.Fleet,
-			start:   sc.Start,
-			seq:     sc.Seq,
-			warmSeq: sc.WarmSeq,
-			sx:      sc.SX,
-			sy:      sc.SY,
-			vx:      sc.VX,
-			vy:      sc.VY,
-			ex:      sc.EX,
-			spans:   obs.NewRing(e.cfg.TraceDepth),
+			fleet:          sc.Fleet,
+			start:          sc.Start,
+			seq:            sc.Seq,
+			warmSeq:        sc.WarmSeq,
+			sx:             sc.SX,
+			sy:             sc.SY,
+			vx:             sc.VX,
+			vy:             sc.VY,
+			ex:             sc.EX,
+			ts:             sc.TS,
+			spans:          obs.NewRing(e.cfg.TraceDepth),
+			traces:         obs.NewTraceTable(e.cfg.TraceDepth),
+			ageAtClose:     metrics.NewBoundedHistogram(metrics.AgeBuckets),
+			ingestToResult: metrics.NewBoundedHistogram(metrics.AgeBuckets),
+		}
+		if sh.ts == nil {
+			sh.ts = mat.New(n, capSlots)
 		}
 		if sc.WarmLX != nil {
 			sh.warm = &core.WarmState{
@@ -716,6 +769,30 @@ func (e *Engine) Trace(fleet string) ([]obs.Span, error) {
 	return sh.spans.Snapshot(), nil
 }
 
+// Traces returns the fleet's retained end-to-end report traces, newest
+// first (up to Config.TraceDepth). Only stamped reports are traced, so a
+// fleet fed exclusively by unstamped sources returns an empty slice.
+func (e *Engine) Traces(fleet string) ([]obs.Trace, error) {
+	e.shardMu.Lock()
+	sh := e.shards[fleet]
+	e.shardMu.Unlock()
+	if sh == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownFleet, fleet)
+	}
+	return sh.traces.Snapshot(), nil
+}
+
+// FindTrace looks up one retained trace by fleet and trace ID.
+func (e *Engine) FindTrace(fleet string, id uint64) (obs.Trace, bool) {
+	e.shardMu.Lock()
+	sh := e.shards[fleet]
+	e.shardMu.Unlock()
+	if sh == nil {
+		return obs.Trace{}, false
+	}
+	return sh.traces.Lookup(id)
+}
+
 // Fleets lists the materialized fleet IDs, sorted.
 func (e *Engine) Fleets() []string {
 	e.shardMu.Lock()
@@ -740,6 +817,8 @@ func (e *Engine) Stats() Stats {
 		Late:              e.c.late.Load(),
 		Duplicates:        e.c.duplicates.Load(),
 		NonFinite:         e.c.nonFinite.Load(),
+		ReportsStamped:    e.c.stamped.Load(),
+		ReportsUnstamped:  e.c.unstamped.Load(),
 		WindowsClosed:     e.c.windowsClosed.Load(),
 		WindowsEmpty:      e.c.windowsEmpty.Load(),
 		WindowsSkipped:    e.c.windowsSkipped.Load(),
@@ -758,18 +837,34 @@ func (e *Engine) Stats() Stats {
 			"run":     e.hist.run.Snapshot(),
 			"wait":    e.hist.wait.Snapshot(),
 		},
+		AgeAtClose:     e.c.ageAtClose.Snapshot(),
+		IngestToResult: e.c.ingestToResult.Snapshot(),
 	}
-	e.shardMu.Lock()
-	s.Fleets = len(e.shards)
-	for name, sh := range e.shards {
+	for _, sh := range e.allShards() {
 		if n := sh.dropped.Load(); n != 0 {
 			if s.WindowsDroppedByFleet == nil {
 				s.WindowsDroppedByFleet = make(map[string]uint64)
 			}
-			s.WindowsDroppedByFleet[name] = n
+			s.WindowsDroppedByFleet[sh.fleet] = n
 		}
+		ff := FleetFreshness{
+			LatestSeq:      -1,
+			AgeAtClose:     sh.ageAtClose.Snapshot(),
+			IngestToResult: sh.ingestToResult.Snapshot(),
+		}
+		sh.mu.Lock()
+		ff.WatermarkSlot = sh.start
+		ff.NextSeq = sh.seq
+		if sh.latest != nil {
+			ff.LatestSeq = sh.latest.Seq
+		}
+		sh.mu.Unlock()
+		if s.Freshness == nil {
+			s.Freshness = make(map[string]FleetFreshness)
+		}
+		s.Freshness[sh.fleet] = ff
+		s.Fleets++
 	}
-	e.shardMu.Unlock()
 	return s
 }
 
@@ -785,14 +880,18 @@ func (e *Engine) shard(fleet string) (*shard, error) {
 	}
 	n, capSlots := e.cfg.Participants, e.cfg.WindowSlots+e.cfg.HopSlots
 	sh := &shard{
-		fleet:   fleet,
-		warmSeq: -1,
-		sx:      mat.New(n, capSlots),
-		sy:      mat.New(n, capSlots),
-		vx:      mat.New(n, capSlots),
-		vy:      mat.New(n, capSlots),
-		ex:      mat.New(n, capSlots),
-		spans:   obs.NewRing(e.cfg.TraceDepth),
+		fleet:          fleet,
+		warmSeq:        -1,
+		sx:             mat.New(n, capSlots),
+		sy:             mat.New(n, capSlots),
+		vx:             mat.New(n, capSlots),
+		vy:             mat.New(n, capSlots),
+		ex:             mat.New(n, capSlots),
+		ts:             mat.New(n, capSlots),
+		spans:          obs.NewRing(e.cfg.TraceDepth),
+		traces:         obs.NewTraceTable(e.cfg.TraceDepth),
+		ageAtClose:     metrics.NewBoundedHistogram(metrics.AgeBuckets),
+		ingestToResult: metrics.NewBoundedHistogram(metrics.AgeBuckets),
 	}
 	e.shards[fleet] = sh
 	return sh, nil
@@ -866,7 +965,7 @@ func (sh *shard) ingest(r mcs.Report, cfg Config, c *counters) ([]job, error) {
 			c.windowsSkipped.Add(uint64(k))
 			break
 		}
-		j, ok := sh.closeWindow(cfg)
+		j, ok := sh.closeWindow(cfg, c)
 		c.windowsClosed.Add(1)
 		if ok {
 			jobs = append(jobs, j)
@@ -884,13 +983,16 @@ func (sh *shard) ingest(r mcs.Report, cfg Config, c *counters) ([]job, error) {
 	sh.vx.Set(r.Participant, col, r.VX)
 	sh.vy.Set(r.Participant, col, r.VY)
 	sh.ex.Set(r.Participant, col, 1)
+	sh.ts.Set(r.Participant, col, float64(r.IngestUnixMicro))
 	return jobs, nil
 }
 
 // closeWindow snapshots the open window into a fresh core.Input, slides the
 // ring forward one hop, and reports whether the window held any
-// observations. Callers hold sh.mu.
-func (sh *shard) closeWindow(cfg Config) (job, bool) {
+// observations. Every stamped cell's age (close time − ingest stamp) is
+// observed into the shard and engine freshness histograms, and the window
+// claims its still-unclaimed traces. Callers hold sh.mu.
+func (sh *shard) closeWindow(cfg Config, c *counters) (job, bool) {
 	w, h := cfg.WindowSlots, cfg.HopSlots
 	capSlots := w + h
 	n := cfg.Participants
@@ -899,12 +1001,17 @@ func (sh *shard) closeWindow(cfg Config) (job, bool) {
 		VX: mat.New(n, w), VY: mat.New(n, w),
 		Existence: mat.New(n, w),
 	}
+	stamps := mat.New(n, w)
+	closedAt := cfg.clock().Now()
+	closedUS := closedAt.UnixMicro()
 	observed := 0
 	for i := 0; i < n; i++ {
 		sxr, syr := sh.sx.RowView(i), sh.sy.RowView(i)
 		vxr, vyr, exr := sh.vx.RowView(i), sh.vy.RowView(i), sh.ex.RowView(i)
+		tsr := sh.ts.RowView(i)
 		dx, dy := in.SX.RowView(i), in.SY.RowView(i)
 		dvx, dvy, de := in.VX.RowView(i), in.VY.RowView(i), in.Existence.RowView(i)
+		dts := stamps.RowView(i)
 		for t := 0; t < w; t++ {
 			src := (sh.start + t) % capSlots
 			if exr[src] == 0 {
@@ -914,7 +1021,22 @@ func (sh *shard) closeWindow(cfg Config) (job, bool) {
 			dvx[t], dvy[t] = vxr[src], vyr[src]
 			de[t] = 1
 			observed++
+			if st := tsr[src]; st > 0 {
+				dts[t] = st
+				age := time.Duration(closedUS-int64(st)) * time.Microsecond
+				sh.ageAtClose.Observe(age)
+				if c != nil {
+					c.ageAtClose.Observe(age)
+				}
+			}
 		}
+	}
+	// Link the close into the traces of every report this window is the
+	// first to consume; the first linked trace becomes the window's
+	// exemplar, surfaced on its span.
+	var traceID uint64
+	if linked := sh.traces.StageWindow(sh.seq, sh.start, sh.start+w, "window_close", closedUS); len(linked) > 0 {
+		traceID = linked[0]
 	}
 	j := job{
 		sh:       sh,
@@ -922,7 +1044,9 @@ func (sh *shard) closeWindow(cfg Config) (job, bool) {
 		start:    sh.start,
 		observed: observed,
 		in:       in,
-		enqueued: cfg.clock().Now(),
+		stamps:   stamps,
+		traceID:  traceID,
+		enqueued: closedAt,
 	}
 	sh.zeroCols(sh.start, h, capSlots)
 	sh.start += h
@@ -936,7 +1060,7 @@ func (sh *shard) closeWindow(cfg Config) (job, bool) {
 // zeroCols clears count ring columns starting at absolute slot from.
 func (sh *shard) zeroCols(from, count, capSlots int) {
 	n, _ := sh.ex.Dims()
-	mats := [...]*mat.Dense{sh.sx, sh.sy, sh.vx, sh.vy, sh.ex}
+	mats := [...]*mat.Dense{sh.sx, sh.sy, sh.vx, sh.vy, sh.ex, sh.ts}
 	for i := 0; i < n; i++ {
 		for _, m := range mats {
 			row := m.RowView(i)
@@ -1006,6 +1130,25 @@ func (e *Engine) process(j job) {
 	}
 	res.Flagged = len(res.Flags)
 
+	completedAt := e.cfg.Clock.Now()
+	// Ingest→result: every stamped cell in the window has now traveled the
+	// full path from its front-door stamp to a published detection verdict.
+	if j.stamps != nil {
+		completedUS := completedAt.UnixMicro()
+		n, w := j.stamps.Dims()
+		for i := 0; i < n; i++ {
+			row := j.stamps.RowView(i)
+			for t := 0; t < w; t++ {
+				if st := row[t]; st > 0 {
+					lat := time.Duration(completedUS-int64(st)) * time.Microsecond
+					j.sh.ingestToResult.Observe(lat)
+					e.c.ingestToResult.Observe(lat)
+				}
+			}
+		}
+		j.sh.traces.StageSeq(j.seq, "detect", fmt.Sprintf("flagged=%d", res.Flagged), completedUS)
+	}
+
 	span := obs.Span{
 		Fleet:       res.Fleet,
 		Seq:         res.Seq,
@@ -1022,7 +1165,10 @@ func (e *Engine) process(j job) {
 		CorrectMS:   float64(out.CorrectDuration) / 1e6,
 		CheckMS:     float64(out.CheckDuration) / 1e6,
 		RunMS:       res.RunMS,
-		CompletedAt: e.cfg.Clock.Now(),
+		CompletedAt: completedAt,
+	}
+	if j.traceID != 0 {
+		span.TraceID = obs.TraceIDString(j.traceID)
 	}
 	j.sh.spans.Add(span)
 	if e.cfg.Obs != nil {
@@ -1046,6 +1192,7 @@ func (e *Engine) process(j job) {
 	}
 	e.c.windowsDone.Add(1)
 	e.publish(res)
+	j.sh.traces.StageSeq(j.seq, "publish", "", e.cfg.Clock.Now().UnixMicro())
 }
 
 // publish fans a result out to every subscriber without blocking.

@@ -13,7 +13,10 @@ type histogram = metrics.Histogram
 // HistogramSnapshot is a point-in-time copy of a latency histogram.
 type HistogramSnapshot = metrics.HistogramSnapshot
 
-// counters aggregates the engine's monotonic event counts.
+// counters aggregates the engine's monotonic event counts. The two
+// freshness histograms live here as well so the shard-level window-close
+// path can observe into them through the same pointer the engine hands it
+// for the counters.
 type counters struct {
 	ingested          atomic.Uint64
 	admittedClean     atomic.Uint64
@@ -24,6 +27,8 @@ type counters struct {
 	late              atomic.Uint64
 	duplicates        atomic.Uint64
 	nonFinite         atomic.Uint64
+	stamped           atomic.Uint64
+	unstamped         atomic.Uint64
 	windowsClosed     atomic.Uint64
 	windowsEmpty      atomic.Uint64
 	windowsSkipped    atomic.Uint64
@@ -33,6 +38,12 @@ type counters struct {
 	warmStarts        atomic.Uint64
 	coldStarts        atomic.Uint64
 	subscriberDrops   atomic.Uint64
+
+	// ageAtClose observes report age at window close, ingestToResult the
+	// full ingest→result latency; both over metrics.AgeBuckets. Nil in
+	// hand-built shard tests — BoundedHistogram tolerates a nil receiver.
+	ageAtClose     *metrics.BoundedHistogram
+	ingestToResult *metrics.BoundedHistogram
 }
 
 // Stats is a point-in-time snapshot of the engine's instrumentation; it
@@ -57,6 +68,15 @@ type Stats struct {
 	Late              uint64 `json:"late"`
 	Duplicates        uint64 `json:"duplicates"`
 	NonFinite         uint64 `json:"non_finite"`
+	// ReportsStamped and ReportsUnstamped partition Ingested by whether the
+	// report carried an ingest freshness stamp (a second exact partition,
+	// like the admission verdicts): ReportsStamped + ReportsUnstamped ==
+	// Ingested, in every life including crashed ones. The engine itself
+	// never stamps — stamps are applied at the network front doors and
+	// round-trip through the WAL — so replay preserves the partition
+	// instead of re-stamping.
+	ReportsStamped   uint64 `json:"reports_stamped"`
+	ReportsUnstamped uint64 `json:"reports_unstamped"`
 	// WindowsClosed counts windows cut from the streams; WindowsEmpty were
 	// discarded for holding no observations, WindowsSkipped were jumped
 	// over to catch up after a large slot gap, WindowsDropped fell out of
@@ -87,4 +107,52 @@ type Stats struct {
 	// check (cumulative per window across outer rounds), run (one whole
 	// DETECT→CORRECT→CHECK loop) and wait (queue residence time).
 	PhaseLatency map[string]HistogramSnapshot `json:"phase_latency_ms"`
+	// AgeAtClose is the distribution of report age — wall-clock time from
+	// the front-door ingest stamp to the close of the first window that
+	// could detect on the report — and IngestToResult extends it to the
+	// moment the window's detection result was published. Both are over
+	// metrics.AgeBuckets and observe only stamped reports.
+	AgeAtClose     HistogramSnapshot `json:"age_at_close_ms"`
+	IngestToResult HistogramSnapshot `json:"ingest_to_result_ms"`
+	// Freshness breaks the freshness picture down per fleet, including each
+	// stream's watermark position (lag). Nil until a fleet materializes.
+	Freshness map[string]FleetFreshness `json:"freshness_by_fleet,omitempty"`
+}
+
+// FleetFreshness is one fleet's freshness and lag snapshot.
+type FleetFreshness struct {
+	// WatermarkSlot is the open window's first slot: every slot below it
+	// has been closed (or skipped) for this fleet.
+	WatermarkSlot int `json:"watermark_slot"`
+	// NextSeq is the sequence number the open window will get; LatestSeq is
+	// the newest published result's sequence (-1 before the first). Their
+	// gap is the fleet's processing lag in windows.
+	NextSeq   int `json:"next_seq"`
+	LatestSeq int `json:"latest_seq"`
+	// AgeAtClose and IngestToResult are the fleet-local freshness
+	// histograms (same definitions as the engine-wide ones).
+	AgeAtClose     HistogramSnapshot `json:"age_at_close_ms"`
+	IngestToResult HistogramSnapshot `json:"ingest_to_result_ms"`
+}
+
+// FreshnessSummary condenses a freshness histogram into the quantiles the
+// /status overview serves.
+type FreshnessSummary struct {
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// SummarizeFreshness estimates p50/p90/p99 from a freshness snapshot
+// (which must have been observed over metrics.AgeBuckets).
+func SummarizeFreshness(s HistogramSnapshot) FreshnessSummary {
+	return FreshnessSummary{
+		Count:  s.Count,
+		MeanMS: s.MeanMS,
+		P50MS:  metrics.Quantile(s, metrics.AgeBuckets, 0.50),
+		P90MS:  metrics.Quantile(s, metrics.AgeBuckets, 0.90),
+		P99MS:  metrics.Quantile(s, metrics.AgeBuckets, 0.99),
+	}
 }

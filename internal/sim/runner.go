@@ -327,5 +327,10 @@ func (r *runner) checkLife(stage string) {
 			stage, r.lives, st.WindowsClosed, st.WindowsEmpty, st.WindowsDropped,
 			st.WindowsProcessed, st.WindowsFailed))
 	}
+	if st.ReportsStamped+st.ReportsUnstamped != st.Ingested {
+		r.violations = append(r.violations, fmt.Sprintf(
+			"%s (life %d): stamped %d + unstamped %d != ingested %d — freshness partition broken (replay re-stamp?)",
+			stage, r.lives, st.ReportsStamped, st.ReportsUnstamped, st.Ingested))
+	}
 	r.attempts = 0
 }

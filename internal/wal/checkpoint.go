@@ -21,8 +21,10 @@ import (
 // Checkpoint file layout ("checkpoint-<hex LogIndex>.ckpt"):
 //
 //	8 bytes  magic "ITSCSCKP"
-//	u32      version (2; version-1 files, which end after the shards, are
-//	         still read — their Reputation section is simply absent)
+//	u32      version (3; version-1 files end after the shards and load
+//	         with a nil Reputation blob, version-2 files lack the TS ring
+//	         and load with a nil TS — the engine then rebuilds a zero
+//	         stamp ring and freshness restarts unstamped)
 //	body     (CRC32C-protected):
 //	  u64    LogIndex — replay origin: every record with index below this
 //	         is reflected in the shard snapshots
@@ -33,6 +35,7 @@ import (
 //	    u64        Seq (sequence the open window will get)
 //	    u64        WarmSeq+1 (0 encodes "no warm state yet")
 //	    5×matrix   SX SY VX VY EX rings (mat binary framing)
+//	    matrix     (version ≥ 3) TS ingest-stamp ring (unix micros)
 //	    u8         warm-present flag, then 4×matrix L/R factors per axis
 //	  u32+bytes  (version ≥ 2) opaque reputation-ledger blob; the WAL
 //	             layer never interprets it, it just carries the bytes so
@@ -47,10 +50,13 @@ const (
 	ckptPrefix = "checkpoint-"
 	ckptSuffix = ".ckpt"
 	ckptMagic  = "ITSCSCKP"
-	// ckptVersionV1 files predate the reputation section; they load with a
-	// nil Reputation blob. ckptVersion is what new files are written as.
+	// ckptVersionV1 files predate the reputation section; ckptVersionV2
+	// files predate the TS ingest-stamp ring. Both still load, degraded as
+	// the layout comment describes. ckptVersion is what new files are
+	// written as.
 	ckptVersionV1 = 1
-	ckptVersion   = 2
+	ckptVersionV2 = 2
+	ckptVersion   = 3
 	// maxReputationBlob bounds the reputation section's claimed size before
 	// allocation, like maxShards and maxFleetNameLen bound theirs.
 	maxReputationBlob = 1 << 26
@@ -71,6 +77,11 @@ type ShardCheckpoint struct {
 
 	// SX, SY, VX, VY, EX are the Participants×(W+H) ring buffers.
 	SX, SY, VX, VY, EX *mat.Dense
+
+	// TS is the ingest-stamp ring (unix microseconds as float64, exact
+	// below 2⁵³): the same shape as EX, zero where a cell is unstamped.
+	// Nil when loaded from a pre-v3 file; the engine restores a zero ring.
+	TS *mat.Dense
 
 	// WarmLX/WarmRX and WarmLY/WarmRY are the per-axis L·Rᵀ factors; all
 	// nil when the fleet has no warm state.
@@ -154,10 +165,17 @@ func (c *crcWriter) Write(p []byte) (int, error) {
 }
 
 func writeCheckpointTo(w io.Writer, ck *Checkpoint) error {
+	return writeCheckpointVersioned(w, ck, ckptVersion)
+}
+
+// writeCheckpointVersioned writes ck in an explicit format version.
+// Production always writes ckptVersion; the older layouts exist so the
+// compatibility tests can produce genuine v1/v2 files.
+func writeCheckpointVersioned(w io.Writer, ck *Checkpoint, version uint32) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	hdr := make([]byte, 0, len(ckptMagic)+4)
 	hdr = append(hdr, ckptMagic...)
-	hdr = binary.LittleEndian.AppendUint32(hdr, ckptVersion)
+	hdr = binary.LittleEndian.AppendUint32(hdr, version)
 	if _, err := bw.Write(hdr); err != nil {
 		return fmt.Errorf("wal: checkpoint write: %w", err)
 	}
@@ -202,6 +220,18 @@ func writeCheckpointTo(w io.Writer, ck *Checkpoint) error {
 				return fmt.Errorf("wal: checkpoint matrix: %w", err)
 			}
 		}
+		if version >= ckptVersion {
+			ts := sc.TS
+			if ts == nil {
+				// A shard snapshotted without stamps still writes a full ring
+				// so the v3 layout stays positionally fixed.
+				rows, cols := sc.EX.Dims()
+				ts = mat.New(rows, cols)
+			}
+			if err := mat.WriteBinary(cw, ts); err != nil {
+				return fmt.Errorf("wal: checkpoint stamp matrix: %w", err)
+			}
+		}
 		warm := sc.WarmLX != nil
 		flag := byte(0)
 		if warm {
@@ -218,14 +248,16 @@ func writeCheckpointTo(w io.Writer, ck *Checkpoint) error {
 			}
 		}
 	}
-	if len(ck.Reputation) > maxReputationBlob {
-		return fmt.Errorf("wal: reputation blob %d bytes exceeds limit", len(ck.Reputation))
-	}
-	if err := writeU32(uint32(len(ck.Reputation))); err != nil {
-		return fmt.Errorf("wal: checkpoint write: %w", err)
-	}
-	if _, err := cw.Write(ck.Reputation); err != nil {
-		return fmt.Errorf("wal: checkpoint write: %w", err)
+	if version >= ckptVersionV2 {
+		if len(ck.Reputation) > maxReputationBlob {
+			return fmt.Errorf("wal: reputation blob %d bytes exceeds limit", len(ck.Reputation))
+		}
+		if err := writeU32(uint32(len(ck.Reputation))); err != nil {
+			return fmt.Errorf("wal: checkpoint write: %w", err)
+		}
+		if _, err := cw.Write(ck.Reputation); err != nil {
+			return fmt.Errorf("wal: checkpoint write: %w", err)
+		}
 	}
 	var trailer [4]byte
 	binary.LittleEndian.PutUint32(trailer[:], cw.crc.Sum32())
@@ -278,7 +310,7 @@ func readCheckpointFrom(r io.Reader, path string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("wal: bad checkpoint magic in %s", path)
 	}
 	version := binary.LittleEndian.Uint32(hdr[len(ckptMagic):])
-	if version != ckptVersionV1 && version != ckptVersion {
+	if version < ckptVersionV1 || version > ckptVersion {
 		return nil, fmt.Errorf("wal: checkpoint version %d unsupported", version)
 	}
 	cr := &crcReader{r: br, crc: crc32.New(castagnoli)}
@@ -345,6 +377,11 @@ func readCheckpointFrom(r io.Reader, path string) (*Checkpoint, error) {
 				return nil, fmt.Errorf("wal: checkpoint matrix: %w", err)
 			}
 		}
+		if version >= ckptVersion {
+			if sc.TS, err = mat.ReadBinary(cr); err != nil {
+				return nil, fmt.Errorf("wal: checkpoint stamp matrix: %w", err)
+			}
+		}
 		var flag [1]byte
 		if _, err := io.ReadFull(cr, flag[:]); err != nil {
 			return nil, fmt.Errorf("wal: checkpoint shard: %w", err)
@@ -361,7 +398,7 @@ func readCheckpointFrom(r io.Reader, path string) (*Checkpoint, error) {
 		}
 		ck.Shards = append(ck.Shards, sc)
 	}
-	if version >= ckptVersion {
+	if version >= ckptVersionV2 {
 		blobLen, err := readU32()
 		if err != nil {
 			return nil, fmt.Errorf("wal: checkpoint reputation: %w", err)

@@ -1,9 +1,7 @@
 package wal
 
 import (
-	"encoding/binary"
 	"errors"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -33,6 +31,7 @@ func fixtureCheckpoint() *Checkpoint {
 			{
 				Fleet: "cab", Start: 8, Seq: 4, WarmSeq: 3,
 				SX: ring(1), SY: ring(2), VX: ring(3), VY: ring(4), EX: ring(0),
+				TS:     ring(1e6),
 				WarmLX: factors(1.5), WarmRX: factors(2.5),
 				WarmLY: factors(3.5), WarmRY: factors(4.5),
 			},
@@ -96,6 +95,14 @@ func TestCheckpointRoundTrip(t *testing.T) {
 				t.Fatalf("shard %d ring %d mismatch", i, k)
 			}
 		}
+		// A nil TS ring writes (and reads back) as all-zero, same shape.
+		wantTS := want.TS
+		if wantTS == nil {
+			wantTS = mat.New(3, 6)
+		}
+		if got.TS == nil || !matEqual(got.TS, wantTS) {
+			t.Fatalf("shard %d TS ring mismatch", i)
+		}
 		if want.WarmLX == nil {
 			if got.WarmLX != nil {
 				t.Fatalf("shard %d grew warm state", i)
@@ -142,37 +149,32 @@ func TestCheckpointReputationRoundTrip(t *testing.T) {
 	}
 }
 
-// TestCheckpointV1Compat synthesizes a version-1 file — the format before
-// the reputation section existed — and checks it still loads, with a nil
-// blob. The bytes are derived from a version-2 file by rewriting the
-// version field, dropping the (empty) reputation section from the body and
-// recomputing the CRC.
+// writeVersioned produces a genuine old-format checkpoint file through the
+// versioned writer, for the compatibility tests.
+func writeVersioned(t *testing.T, dir string, ck *Checkpoint, version uint32) string {
+	t.Helper()
+	path := CheckpointPath(dir, ck.LogIndex)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeCheckpointVersioned(f, ck, version); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCheckpointV1Compat writes a genuine version-1 file — the format
+// before the reputation and stamp-ring sections existed — and checks it
+// still loads, with a nil blob and a nil TS ring.
 func TestCheckpointV1Compat(t *testing.T) {
-	dir := t.TempDir()
 	ck := fixtureCheckpoint()
-	path, err := WriteCheckpoint(dir, ck)
-	if err != nil {
-		t.Fatal(err)
-	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	hdrLen := len(ckptMagic) + 4
-	// Body sits between the header and the 4-byte CRC trailer; its final 4
-	// bytes are the version-2 reputation length (zero here). Strip them.
-	body := data[hdrLen : len(data)-4]
-	body = body[:len(body)-4]
-	v1 := make([]byte, 0, hdrLen+len(body)+4)
-	v1 = append(v1, ckptMagic...)
-	v1 = binary.LittleEndian.AppendUint32(v1, ckptVersionV1)
-	v1 = append(v1, body...)
-	v1 = binary.LittleEndian.AppendUint32(v1, crc32.Checksum(body, castagnoli))
-	v1Path := CheckpointPath(dir, ck.LogIndex+1)
-	if err := os.WriteFile(v1Path, v1, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	back, err := ReadCheckpoint(v1Path)
+	ck.Reputation = []byte("dropped-by-v1") // v1 has no section to carry it
+	path := writeVersioned(t, t.TempDir(), ck, ckptVersionV1)
+	back, err := ReadCheckpoint(path)
 	if err != nil {
 		t.Fatalf("version-1 checkpoint no longer loads: %v", err)
 	}
@@ -181,6 +183,31 @@ func TestCheckpointV1Compat(t *testing.T) {
 	}
 	if back.LogIndex != ck.LogIndex || len(back.Shards) != len(ck.Shards) {
 		t.Fatalf("version-1 body mismatch: %+v", back)
+	}
+	for i := range back.Shards {
+		if back.Shards[i].TS != nil {
+			t.Fatalf("version-1 shard %d grew a TS ring", i)
+		}
+	}
+}
+
+// TestCheckpointV2Compat writes a genuine version-2 file — reputation blob
+// but no stamp rings — and checks the blob survives while TS stays nil.
+func TestCheckpointV2Compat(t *testing.T) {
+	ck := fixtureCheckpoint()
+	ck.Reputation = []byte("ITSCSREP-v2-ledger")
+	path := writeVersioned(t, t.TempDir(), ck, ckptVersionV2)
+	back, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("version-2 checkpoint no longer loads: %v", err)
+	}
+	if string(back.Reputation) != string(ck.Reputation) {
+		t.Fatalf("version-2 reputation blob = %q, want %q", back.Reputation, ck.Reputation)
+	}
+	for i := range back.Shards {
+		if back.Shards[i].TS != nil {
+			t.Fatalf("version-2 shard %d grew a TS ring", i)
+		}
 	}
 }
 

@@ -199,6 +199,8 @@ type Log struct {
 		truncatedB   atomic.Uint64
 		replayed     atomic.Uint64
 		replaySkips  atomic.Uint64
+		lastAppendUS atomic.Int64
+		lastFsyncUS  atomic.Int64
 		fsyncLatency metrics.Histogram
 	}
 }
@@ -229,6 +231,13 @@ type Stats struct {
 	TruncatedBytes  uint64 `json:"truncated_bytes"`
 	Replayed        uint64 `json:"replayed_records"`
 	ReplaySkipped   uint64 `json:"replay_skipped_records"`
+	// LastAppendUnixMicro and LastFsyncUnixMicro stamp the newest committed
+	// append and the newest fsync (zero until the first of each), the
+	// recency signals the /status overview surfaces: a log whose last
+	// append is recent but whose last fsync is not is accumulating
+	// unsynced risk under the interval policy.
+	LastAppendUnixMicro int64 `json:"last_append_us,omitempty"`
+	LastFsyncUnixMicro  int64 `json:"last_fsync_us,omitempty"`
 }
 
 // Stats snapshots the log's counters.
@@ -251,6 +260,9 @@ func (l *Log) Stats() Stats {
 		TruncatedBytes:  l.st.truncatedB.Load(),
 		Replayed:        l.st.replayed.Load(),
 		ReplaySkipped:   l.st.replaySkips.Load(),
+
+		LastAppendUnixMicro: l.st.lastAppendUS.Load(),
+		LastFsyncUnixMicro:  l.st.lastFsyncUS.Load(),
 	}
 }
 
@@ -607,6 +619,7 @@ func (l *Log) commitBatch(batch []appendReq) {
 		l.st.records.Add(uint64(records))
 		l.st.bytes.Add(uint64(len(buf)))
 		l.st.batches.Add(1)
+		l.st.lastAppendUS.Store(l.opt.Clock.Now().UnixMicro())
 	}
 	for _, req := range batch {
 		req.done <- err
@@ -649,6 +662,7 @@ func (l *Log) fsync() error {
 	l.st.fsyncLatency.Observe(l.opt.Clock.Since(began))
 	l.dirty = false
 	l.lastSync = l.opt.Clock.Now()
+	l.st.lastFsyncUS.Store(l.lastSync.UnixMicro())
 	return nil
 }
 
